@@ -1,0 +1,62 @@
+// Figure 10: non-zero tile reuse effectiveness. All-ones adjacency (so the
+// tile count, not sparsity, is the controlled variable), D = 1024, X bits in
+// {4, 8, 16}: speedup of cross-tile reduction (reuse) over cross-bit.
+// Expected shape: reuse wins at larger N and more bits (~1.1-1.25x), can be
+// neutral-to-negative at small N.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "kernels/anybit_mm.hpp"
+
+int main() {
+  using namespace qgtc;
+  using core::TablePrinter;
+
+  bench::print_banner(
+      "Figure 10 — non-zero tile reuse (speedup vs w/o reuse)",
+      "reuse helps at large N / higher bits (up to ~1.2x), marginal at "
+      "small sizes");
+
+  std::vector<i64> ns = {1024, 2048, 4096, 8192};
+  if (bench::quick()) ns = {1024, 2048};
+  const std::vector<int> bit_list = {4, 8, 16};
+  const i64 d = bench::quick() ? 256 : 1024;
+
+  std::vector<std::string> headers = {"N"};
+  for (const int b : bit_list) {
+    headers.push_back("A(1)X(" + std::to_string(b) + ")");
+  }
+  TablePrinter table(headers);
+
+  Rng rng(4242);
+  for (const i64 n : ns) {
+    // All tiles non-zero: fill adjacency with ones (paper's control).
+    MatrixI32 adj(n, n, 1);
+    const BitMatrix pa = pack_nonzero(adj, BitLayout::kRowMajorK);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const int bits : bit_list) {
+      MatrixI32 xq(n, d);
+      const u64 range = u64{1} << bits;
+      for (i64 i = 0; i < xq.size(); ++i) {
+        xq.data()[i] = static_cast<i32>(rng.next_below(range));
+      }
+      const auto px = StackedBitTensor::decompose(xq, bits, BitLayout::kColMajorK);
+      BmmOptions opt;
+      opt.allow_overflow = bits >= 16;
+      const double min_s = n >= 8192 ? 0.05 : 0.15;
+      const double cross_bit = time_it(
+          [&] { (void)aggregate_1bit(pa, px, ReuseMode::kCrossBit, opt); },
+          min_s, 1);
+      const double cross_tile = time_it(
+          [&] { (void)aggregate_1bit(pa, px, ReuseMode::kCrossTile, opt); },
+          min_s, 1);
+      row.push_back(TablePrinter::fmt(cross_bit / cross_tile, 3) + "x");
+      std::cerr << "  [done] N=" << n << " bits=" << bits << "\n";
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

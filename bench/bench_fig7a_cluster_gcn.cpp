@@ -1,0 +1,15 @@
+// Figure 7(a): end-to-end Cluster GCN inference (3 layers, hidden 16) —
+// DGL(fp32) vs QGTC at 2/4/8/16/32 bits across the Table-1 datasets.
+#include <cmath>
+
+#include "bench_fig7_common.hpp"
+
+int main() {
+  using namespace qgtc;
+  bench::print_banner(
+      "Figure 7(a) — Cluster GCN end-to-end inference vs DGL",
+      "QGTC beats DGL (avg ~2.6x); fewer bits => faster; 16/32-bit much "
+      "slower than <=8-bit");
+  bench::run_fig7(gnn::ModelKind::kClusterGCN, /*hidden_dim=*/16);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9: adjacency-matrix-size impact — 1-bit BMM (A x X, both 1-bit)
+// throughput in TFLOPs as N sweeps 128..32768 and D sweeps 16..1024.
+// Expected shape: little growth at small N (under-utilisation), steep rise
+// through mid sizes, saturation at large N; larger D => higher TFLOPs.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "kernels/bmm.hpp"
+
+int main() {
+  using namespace qgtc;
+  using core::TablePrinter;
+
+  bench::print_banner(
+      "Figure 9 — adjacency matrix size impact (1-bit BMM TFLOPs)",
+      "throughput scales with N, saturates past ~16k; larger D utilises the "
+      "substrate better");
+
+  std::vector<i64> ns = {128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+  if (bench::full_scale()) ns.push_back(32768);
+  if (bench::quick()) ns.resize(5);
+  const std::vector<i64> dims = bench::quick()
+                                    ? std::vector<i64>{16, 64}
+                                    : std::vector<i64>{16, 32, 64, 128, 256, 512, 1024};
+
+  std::vector<std::string> headers = {"N \\ D"};
+  for (const i64 d : dims) headers.push_back(std::to_string(d));
+  TablePrinter table(headers);
+
+  Rng rng(777);
+  for (const i64 n : ns) {
+    // 50 % random density; zero-tile jumping off — this figure measures raw
+    // BMM scaling, not sparsity exploitation.
+    BitMatrix a(n, n, BitLayout::kRowMajorK);
+    for (i64 w = 0; w < a.lines() * a.k_words(); ++w) {
+      a.data()[w] = static_cast<u32>(rng.next_u64());
+    }
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const i64 d : dims) {
+      BitMatrix b(n, d, BitLayout::kColMajorK);
+      for (i64 w = 0; w < b.lines() * b.k_words(); ++w) {
+        b.data()[w] = static_cast<u32>(rng.next_u64());
+      }
+      MatrixI32 c = make_padded_accumulator(a, b);
+      const double s = time_it([&] { bmm_accumulate(a, b, c); },
+                               n >= 8192 ? 0.05 : 0.15, 1);
+      row.push_back(TablePrinter::fmt(bench::tflops(n, d, s), 2));
+    }
+    table.add_row(std::move(row));
+    std::cerr << "  [done] N=" << n << "\n";
+  }
+  table.print(std::cout);
+  if (!bench::full_scale()) {
+    std::cout << "\n(N=32768 omitted by default; QGTC_FULL_SCALE=1 to include)\n";
+  }
+  return 0;
+}

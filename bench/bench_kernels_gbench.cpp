@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks for the kernel stack: 1-bit BMM,
+// any-bitwidth composition, fused epilogues, packing, and the baseline GEMMs.
+// Complements the table-style harness with statistically robust per-kernel
+// numbers (run with --benchmark_filter=... for a subset).
+#include <benchmark/benchmark.h>
+
+#include "baselines/dgl_fp32.hpp"
+#include "baselines/int8_gemm.hpp"
+#include "bittensor/stacked.hpp"
+#include "common/rng.hpp"
+#include "kernels/anybit_mm.hpp"
+
+namespace {
+
+using namespace qgtc;
+
+MatrixI32 random_codes(u64 seed, i64 rows, i64 cols, int bits) {
+  Rng rng(seed);
+  MatrixI32 m(rows, cols);
+  const u64 range = u64{1} << bits;
+  for (i64 i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<i32>(rng.next_below(range));
+  }
+  return m;
+}
+
+void BM_Bmm1Bit(benchmark::State& state) {
+  const i64 n = state.range(0), d = state.range(1);
+  const MatrixI32 a = random_codes(1, n, n, 1);
+  const MatrixI32 b = random_codes(2, n, d, 1);
+  const BitMatrix pa = pack_nonzero(a, BitLayout::kRowMajorK);
+  const BitMatrix pb = pack_nonzero(b, BitLayout::kColMajorK);
+  MatrixI32 c = make_padded_accumulator(pa, pb);
+  for (auto _ : state) {
+    c.fill(0);
+    bmm_accumulate(pa, pb, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["TFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(d) / 1e12,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Bmm1Bit)->Args({1024, 64})->Args({2048, 64})->Args({4096, 128});
+
+void BM_AnyBitComposed(benchmark::State& state) {
+  const i64 n = 1024, d = 64;
+  const int bits = static_cast<int>(state.range(0));
+  const MatrixI32 a = random_codes(3, n, n, 1);
+  const MatrixI32 x = random_codes(4, n, d, bits);
+  const BitMatrix pa = pack_nonzero(a, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, bits, BitLayout::kColMajorK);
+  for (auto _ : state) {
+    auto out = aggregate_1bit(pa, px, ReuseMode::kCrossTile);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["bit_planes"] = bits;
+}
+BENCHMARK(BM_AnyBitComposed)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ZeroTileJump(benchmark::State& state) {
+  // Block-diagonal adjacency: ~1/8 tiles non-zero; jumping on/off.
+  const i64 n = 4096, d = 64;
+  const bool jump = state.range(0) != 0;
+  MatrixI32 a(n, n, 0);
+  Rng rng(5);
+  const i64 block = n / 8;
+  for (i64 bidx = 0; bidx < 8; ++bidx) {
+    for (i64 i = bidx * block; i < (bidx + 1) * block; ++i) {
+      for (int e = 0; e < 16; ++e) {
+        a(i, bidx * block + static_cast<i64>(rng.next_below(static_cast<u64>(block)))) = 1;
+      }
+    }
+  }
+  const MatrixI32 x = random_codes(6, n, d, 4);
+  const BitMatrix pa = pack_nonzero(a, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, 4, BitLayout::kColMajorK);
+  BmmOptions opt;
+  opt.zero_tile_jump = jump;
+  for (auto _ : state) {
+    auto out = aggregate_1bit(pa, px, ReuseMode::kCrossTile, opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ZeroTileJump)->Arg(0)->Arg(1);
+
+void BM_FusedVsUnfusedBitOutput(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const i64 n = 1024, d = 64;
+  const MatrixI32 a = random_codes(7, n, n, 1);
+  const MatrixI32 x = random_codes(8, n, d, 4);
+  const BitMatrix pa = pack_nonzero(a, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, 4, BitLayout::kColMajorK);
+  FusedEpilogue epi;
+  epi.rshift = 8;
+  for (auto _ : state) {
+    if (fused) {
+      auto out = aggregate_fused_bit(pa, px, 4, epi);
+      benchmark::DoNotOptimize(&out);
+    } else {
+      auto raw = aggregate_1bit(pa, px, ReuseMode::kCrossTile);
+      for (i64 i = 0; i < raw.size(); ++i) {
+        raw.data()[i] = std::min(raw.data()[i] >> 8, 15);
+      }
+      auto out = StackedBitTensor::decompose(raw, 4, BitLayout::kRowMajorK);
+      benchmark::DoNotOptimize(&out);
+    }
+  }
+}
+BENCHMARK(BM_FusedVsUnfusedBitOutput)->Arg(1)->Arg(0);
+
+void BM_Int8Baseline(benchmark::State& state) {
+  const i64 n = state.range(0), d = 64;
+  const MatrixI32 a = random_codes(9, n, n, 1);
+  const MatrixI32 b = random_codes(10, n, d, 7);
+  const auto a8 = baselines::to_int8(a);
+  const auto b8 = baselines::to_int8(b);
+  for (auto _ : state) {
+    auto c = baselines::gemm_int8(a8, b8);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Int8Baseline)->Arg(1024)->Arg(2048);
+
+void BM_Fp32Spmm(benchmark::State& state) {
+  // DGL-path SpMM on an SBM batch-like graph.
+  const i64 n = 8192;
+  Rng rng(11);
+  std::vector<std::pair<i32, i32>> edges;
+  for (i64 e = 0; e < n * 8; ++e) {
+    edges.emplace_back(static_cast<i32>(rng.next_below(static_cast<u64>(n))),
+                       static_cast<i32>(rng.next_below(static_cast<u64>(n))));
+  }
+  const CsrGraph g = CsrGraph::from_edges(n, std::move(edges));
+  MatrixF x(n, 64);
+  for (i64 i = 0; i < x.size(); ++i) x.data()[i] = rng.next_float();
+  for (auto _ : state) {
+    auto y = baselines::spmm_csr(g, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Fp32Spmm);
+
+void BM_BitDecompose(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const MatrixI32 x = random_codes(12, 4096, 128, bits);
+  for (auto _ : state) {
+    auto planes = StackedBitTensor::decompose(x, bits, BitLayout::kColMajorK);
+    benchmark::DoNotOptimize(&planes);
+  }
+}
+BENCHMARK(BM_BitDecompose)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark harness. Every bench binary prints the
+// same rows/series as the paper's table or figure it regenerates, plus a
+// header documenting workload and environment knobs:
+//
+//   QGTC_FULL_SCALE=1   full Table-1 dataset sizes (default scales
+//                       ogbn-products to 10 % for a small host)
+//   QGTC_QUICK=1        shrink sweeps/epochs for smoke runs
+//   QGTC_MAX_BATCHES=N  cap timed batches per epoch (extrapolated, printed)
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/engine.hpp"
+#include "core/stats.hpp"
+
+namespace qgtc::bench {
+
+inline bool quick() { return env_flag("QGTC_QUICK"); }
+inline bool full_scale() { return env_flag("QGTC_FULL_SCALE"); }
+
+inline double products_scale() { return full_scale() ? 1.0 : 0.1; }
+
+/// Table-1 datasets at the configured scale. QGTC_QUICK keeps only the two
+/// smallest so smoke runs finish in seconds.
+inline std::vector<DatasetSpec> bench_datasets() {
+  auto specs = table1_specs(products_scale());
+  if (quick()) specs.resize(2);
+  return specs;
+}
+
+inline void print_banner(const std::string& title, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << title << '\n'
+            << "Paper claim (shape to reproduce): " << claim << '\n'
+            << "Host substrate: software tensor core (see DESIGN.md); absolute\n"
+            << "numbers differ from the paper's RTX3090, shapes should hold.\n"
+            << "==============================================================\n";
+}
+
+/// Milliseconds with 1 decimal.
+inline std::string ms(double seconds) {
+  return core::TablePrinter::fmt(seconds * 1e3, 1);
+}
+
+/// TFLOPs for an N x N x D GEMM-equivalent executed in `seconds`
+/// (2 ops per MAC, the convention of Figure 7(c)/9 and Table 3).
+inline double tflops(i64 n, i64 d, double seconds) {
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(d) / seconds / 1e12;
+}
+
+}  // namespace qgtc::bench

@@ -1,0 +1,54 @@
+#include "baselines/int4_gemm.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc::baselines {
+
+Int4Matrix::Int4Matrix(i64 rows, i64 cols)
+    : rows_(rows), cols_(cols), bytes_per_row_(ceil_div(cols, 2)) {
+  data_.assign(static_cast<std::size_t>(rows_ * bytes_per_row_), 0);
+}
+
+void Int4Matrix::set(i64 r, i64 c, i32 v) {
+  QGTC_CHECK(v >= 0 && v <= 15, "int4 value out of [0,15]");
+  u8& byte = data_[static_cast<std::size_t>(r * bytes_per_row_ + c / 2)];
+  if (c % 2 == 0) {
+    byte = static_cast<u8>((byte & 0xF0) | v);
+  } else {
+    byte = static_cast<u8>((byte & 0x0F) | (v << 4));
+  }
+}
+
+Int4Matrix Int4Matrix::pack(const MatrixI32& m) {
+  Int4Matrix out(m.rows(), m.cols());
+  for (i64 r = 0; r < m.rows(); ++r) {
+    for (i64 c = 0; c < m.cols(); ++c) out.set(r, c, m(r, c));
+  }
+  return out;
+}
+
+MatrixI32 gemm_int4(const Int4Matrix& a, const Int4Matrix& b) {
+  QGTC_CHECK(a.cols() == b.rows(), "gemm_int4: inner dimensions differ");
+  MatrixI32 c(a.rows(), b.cols(), 0);
+  const i64 n = b.cols();
+  // Dequantize-on-load model: B is unpacked once to an int32 panel (the
+  // fragment-load conversion a TC int4 pipeline performs), then the dense
+  // GEMM runs with no sparsity skipping — CUTLASS computes every MAC, which
+  // is the Table 3 comparison point.
+  MatrixI32 bu(b.rows(), n);
+  parallel_for(0, b.rows(), [&](i64 k) {
+    i32* row = bu.row(k).data();
+    for (i64 j = 0; j < n; ++j) row[j] = b.get(k, j);
+  });
+  parallel_for(0, a.rows(), [&](i64 i) {
+    i32* crow = c.row(i).data();
+    for (i64 k = 0; k < a.cols(); ++k) {
+      const i32 aik = a.get(i, k);
+      const i32* brow = bu.row(k).data();
+      for (i64 j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  });
+  return c;
+}
+
+}  // namespace qgtc::baselines

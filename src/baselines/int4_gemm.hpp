@@ -1,0 +1,41 @@
+// CUTLASS(int4) substitute (paper §6.2, Table 3): a nibble-packed 4-bit
+// GEMM with int32 accumulation. CUTLASS only supports 4-bit x 4-bit, so the
+// binary adjacency must also be stored in 4 bits — the inefficiency QGTC's
+// 1-bit x n-bit path removes.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace qgtc::baselines {
+
+/// Unsigned 4-bit matrix, two values per byte (low nibble = even column).
+class Int4Matrix {
+ public:
+  Int4Matrix() = default;
+  Int4Matrix(i64 rows, i64 cols);
+
+  /// Packs an int32 matrix with values in [0, 15] (checked).
+  static Int4Matrix pack(const MatrixI32& m);
+
+  [[nodiscard]] i64 rows() const { return rows_; }
+  [[nodiscard]] i64 cols() const { return cols_; }
+  [[nodiscard]] i32 get(i64 r, i64 c) const {
+    const u8 byte = data_[static_cast<std::size_t>(r * bytes_per_row_ + c / 2)];
+    return (c % 2 == 0) ? (byte & 0xF) : (byte >> 4);
+  }
+  void set(i64 r, i64 c, i32 v);
+
+  [[nodiscard]] const u8* row_data(i64 r) const {
+    return data_.data() + r * bytes_per_row_;
+  }
+  [[nodiscard]] i64 bytes_per_row() const { return bytes_per_row_; }
+
+ private:
+  i64 rows_ = 0, cols_ = 0, bytes_per_row_ = 0;
+  AlignedVector<u8> data_;
+};
+
+/// C = A x B where both operands are unsigned 4-bit, int32 accumulation.
+MatrixI32 gemm_int4(const Int4Matrix& a, const Int4Matrix& b);
+
+}  // namespace qgtc::baselines

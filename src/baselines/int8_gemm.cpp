@@ -1,0 +1,35 @@
+#include "baselines/int8_gemm.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc::baselines {
+
+MatrixI8 to_int8(const MatrixI32& m) {
+  MatrixI8 out(m.rows(), m.cols());
+  parallel_for(0, m.size(), [&](i64 i) {
+    out.data()[i] = static_cast<std::int8_t>(std::clamp(m.data()[i], -128, 127));
+  });
+  return out;
+}
+
+MatrixI32 gemm_int8(const MatrixI8& a, const MatrixI8& b) {
+  QGTC_CHECK(a.cols() == b.rows(), "gemm_int8: inner dimensions differ");
+  MatrixI32 c(a.rows(), b.cols(), 0);
+  const i64 n = b.cols();
+  parallel_for(0, a.rows(), [&](i64 i) {
+    i32* crow = c.row(i).data();
+    for (i64 k = 0; k < a.cols(); ++k) {
+      // No zero-skipping: cuBLAS executes the dense GEMM regardless of the
+      // operand's sparsity, which is exactly the inefficiency Figure 7(c)
+      // exposes.
+      const i32 aik = a(i, k);
+      const std::int8_t* brow = b.row(k).data();
+      for (i64 j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  });
+  return c;
+}
+
+}  // namespace qgtc::baselines

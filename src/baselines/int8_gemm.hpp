@@ -1,0 +1,19 @@
+// cuBLASgemmEX(int8) substitute (paper §6.2, Figure 7(c)): a fixed-8-bit
+// quantized GEMM with int32 accumulation — the minimum bitwidth cuBLAS
+// supports on Tensor Cores. QGTC's any-bitwidth path is compared against it.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace qgtc::baselines {
+
+using MatrixI8 = Matrix<std::int8_t>;
+
+/// Clamps an int32 matrix (values expected in [0, 255)) to int8 storage for
+/// the baseline; values outside [-128, 127] saturate.
+MatrixI8 to_int8(const MatrixI32& m);
+
+/// C = A x B with int8 inputs and int32 accumulation, OpenMP-parallel.
+MatrixI32 gemm_int8(const MatrixI8& a, const MatrixI8& b);
+
+}  // namespace qgtc::baselines

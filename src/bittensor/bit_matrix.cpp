@@ -1,0 +1,98 @@
+#include "bittensor/bit_matrix.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc {
+
+BitMatrix::BitMatrix(i64 rows, i64 cols, BitLayout layout, PadPolicy non_k_pad)
+    : rows_(rows), cols_(cols), layout_(layout) {
+  QGTC_CHECK(rows >= 0 && cols >= 0, "BitMatrix dimensions must be non-negative");
+  if (layout == BitLayout::kRowMajorK) {
+    // K runs along columns: PAD128 on K, caller-chosen pad on rows.
+    padded_rows_ = apply_pad(rows, non_k_pad);
+    padded_cols_ = pad128(cols);
+    lines_ = padded_rows_;
+    k_words_ = padded_cols_ / kWordBits;
+  } else {
+    // K runs along rows: PAD128 on K, caller-chosen pad on columns.
+    padded_rows_ = pad128(rows);
+    padded_cols_ = apply_pad(cols, non_k_pad);
+    lines_ = padded_cols_;
+    k_words_ = padded_rows_ / kWordBits;
+  }
+  data_.assign(static_cast<std::size_t>(lines_ * k_words_), 0u);
+}
+
+bool BitMatrix::get(i64 r, i64 c) const {
+  if (layout_ == BitLayout::kRowMajorK) {
+    const u32 w = row_words(r)[c / kWordBits];
+    return (w >> (c % kWordBits)) & 1u;
+  }
+  const u32 w = col_words(c)[r / kWordBits];
+  return (w >> (r % kWordBits)) & 1u;
+}
+
+void BitMatrix::set(i64 r, i64 c, bool v) {
+  u32* w;
+  int bit;
+  if (layout_ == BitLayout::kRowMajorK) {
+    w = &row_words(r)[c / kWordBits];
+    bit = static_cast<int>(c % kWordBits);
+  } else {
+    w = &col_words(c)[r / kWordBits];
+    bit = static_cast<int>(r % kWordBits);
+  }
+  if (v) {
+    *w |= (1u << bit);
+  } else {
+    *w &= ~(1u << bit);
+  }
+}
+
+namespace {
+
+/// Shared packing driver: predicate(r, c) decides each logical bit.
+template <typename Pred>
+BitMatrix pack_with(const MatrixI32& m, BitLayout layout, PadPolicy pad,
+                    Pred&& pred) {
+  BitMatrix bm(m.rows(), m.cols(), layout, pad);
+  if (layout == BitLayout::kRowMajorK) {
+    parallel_for(0, m.rows(), [&](i64 r) {
+      u32* words = bm.row_words(r);
+      for (i64 c = 0; c < m.cols(); ++c) {
+        if (pred(r, c)) words[c / kWordBits] |= (1u << (c % kWordBits));
+      }
+    });
+  } else {
+    parallel_for(0, m.cols(), [&](i64 c) {
+      u32* words = bm.col_words(c);
+      for (i64 r = 0; r < m.rows(); ++r) {
+        if (pred(r, c)) words[r / kWordBits] |= (1u << (r % kWordBits));
+      }
+    });
+  }
+  return bm;
+}
+
+}  // namespace
+
+BitMatrix pack_nonzero(const MatrixI32& m, BitLayout layout, PadPolicy pad) {
+  return pack_with(m, layout, pad, [&](i64 r, i64 c) { return m(r, c) != 0; });
+}
+
+BitMatrix pack_bit_plane(const MatrixI32& m, int bit, BitLayout layout,
+                         PadPolicy pad) {
+  QGTC_CHECK(bit >= 0 && bit < 31, "bit-plane index out of range");
+  return pack_with(m, layout, pad,
+                   [&](i64 r, i64 c) { return (m(r, c) >> bit) & 1; });
+}
+
+MatrixI32 unpack_bits(const BitMatrix& bm) {
+  MatrixI32 out(bm.rows(), bm.cols(), 0);
+  for (i64 r = 0; r < bm.rows(); ++r) {
+    for (i64 c = 0; c < bm.cols(); ++c) out(r, c) = bm.get(r, c) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace qgtc

@@ -1,0 +1,45 @@
+// Quantization of fp32 values to q-bit unsigned integers (paper §3, Eq. 2):
+//
+//   alpha_q = floor((alpha - alpha_min) / scale),
+//   scale   = (alpha_max - alpha_min) / 2^q,
+//
+// with alpha_min / alpha_max empirical bounds. Values are clamped into
+// [0, 2^q - 1] so out-of-range inputs saturate instead of wrapping.
+#pragma once
+
+#include "common/defs.hpp"
+#include "common/matrix.hpp"
+
+namespace qgtc {
+
+struct QuantParams {
+  float alpha_min = 0.0f;
+  float alpha_max = 1.0f;
+  int bits = 8;
+
+  /// Eq. 2 scale: value range divided by the q-bit code range.
+  [[nodiscard]] float scale() const {
+    return (alpha_max - alpha_min) / static_cast<float>(1u << bits);
+  }
+  /// Largest representable code.
+  [[nodiscard]] i32 qmax() const { return static_cast<i32>((1u << bits) - 1); }
+};
+
+/// Derive empirical bounds from the data itself (the "determined by users or
+/// application settings" case defaults to observed min/max).
+QuantParams quant_params_from_data(const MatrixF& m, int bits);
+
+/// Quantize a single value per Eq. 2 (floor + clamp).
+i32 quantize_value(float alpha, const QuantParams& p);
+
+/// Dequantize a code back to fp32 (code-midpoint convention, so the
+/// round-trip error of quantize->dequantize is bounded by scale/2 + ulp).
+float dequantize_value(i32 q, const QuantParams& p);
+
+/// Elementwise quantization of a matrix.
+MatrixI32 quantize_matrix(const MatrixF& m, const QuantParams& p);
+
+/// Elementwise dequantization of a matrix.
+MatrixF dequantize_matrix(const MatrixI32& q, const QuantParams& p);
+
+}  // namespace qgtc

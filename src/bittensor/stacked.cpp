@@ -1,0 +1,54 @@
+#include "bittensor/stacked.hpp"
+
+namespace qgtc {
+
+StackedBitTensor StackedBitTensor::decompose(const MatrixI32& q, int bits,
+                                             BitLayout layout,
+                                             PadPolicy non_k_pad) {
+  QGTC_CHECK(bits >= 1 && bits <= 31, "stacked bit count must be in [1,31]");
+  StackedBitTensor t;
+  t.rows_ = q.rows();
+  t.cols_ = q.cols();
+  t.layout_ = layout;
+  t.planes_.reserve(static_cast<std::size_t>(bits));
+  for (int b = 0; b < bits; ++b) {
+    t.planes_.push_back(pack_bit_plane(q, b, layout, non_k_pad));
+  }
+  return t;
+}
+
+StackedBitTensor StackedBitTensor::zeros(i64 rows, i64 cols, int bits,
+                                         BitLayout layout,
+                                         PadPolicy non_k_pad) {
+  QGTC_CHECK(bits >= 1 && bits <= 31, "stacked bit count must be in [1,31]");
+  StackedBitTensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.layout_ = layout;
+  t.planes_.reserve(static_cast<std::size_t>(bits));
+  for (int b = 0; b < bits; ++b) {
+    t.planes_.emplace_back(rows, cols, layout, non_k_pad);
+  }
+  return t;
+}
+
+MatrixI32 StackedBitTensor::compose() const {
+  MatrixI32 out(rows_, cols_, 0);
+  for (int b = 0; b < bits(); ++b) {
+    const BitMatrix& p = plane(b);
+    for (i64 r = 0; r < rows_; ++r) {
+      for (i64 c = 0; c < cols_; ++c) {
+        out(r, c) |= (p.get(r, c) ? 1 : 0) << b;
+      }
+    }
+  }
+  return out;
+}
+
+i64 StackedBitTensor::bytes() const {
+  i64 total = 0;
+  for (const BitMatrix& p : planes_) total += p.bytes();
+  return total;
+}
+
+}  // namespace qgtc

@@ -1,0 +1,22 @@
+// Environment-variable configuration used by the benchmark harness
+// (e.g. QGTC_QUICK=1 shrinks sweeps on small machines, QGTC_FULL_SCALE=1
+// restores full Table-1 dataset sizes).
+#pragma once
+
+#include <string>
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+/// Returns the integer value of environment variable `name`, or `fallback`
+/// when unset or unparsable.
+i64 env_i64(const char* name, i64 fallback);
+
+/// Returns true when `name` is set to a non-zero / non-empty truthy value.
+bool env_flag(const char* name, bool fallback = false);
+
+/// Returns env string or fallback.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace qgtc

@@ -1,0 +1,41 @@
+#include "common/matrix.hpp"
+
+namespace qgtc {
+
+MatrixF matmul_reference(const MatrixF& a, const MatrixF& b) {
+  QGTC_CHECK(a.cols() == b.rows(), "matmul_reference: inner dimensions differ");
+  MatrixF c(a.rows(), b.cols(), 0.0f);
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      for (i64 j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+MatrixI32 matmul_reference(const MatrixI32& a, const MatrixI32& b) {
+  QGTC_CHECK(a.cols() == b.rows(), "matmul_reference: inner dimensions differ");
+  MatrixI32 c(a.rows(), b.cols(), 0);
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 k = 0; k < a.cols(); ++k) {
+      const i32 aik = a(i, k);
+      if (aik == 0) continue;
+      for (i64 j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+float max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  QGTC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (i64 i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace qgtc

@@ -1,0 +1,94 @@
+// Dense row-major matrix with 64-byte-aligned storage. This is the byte-based
+// "vehicle" type (paper §5) that full-precision values and int32 quantized
+// values travel in before bit compression.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+/// Allocator returning 64-byte-aligned storage so packed rows can be streamed
+/// with full-width vector loads.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+  T* allocate(std::size_t n) {
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{64});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{64});
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const { return true; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Dense row-major matrix of trivially-copyable elements.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(i64 rows, i64 cols, T fill = T{}) : rows_(rows), cols_(cols) {
+    QGTC_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    data_.assign(static_cast<std::size_t>(rows * cols), fill);
+  }
+
+  [[nodiscard]] i64 rows() const { return rows_; }
+  [[nodiscard]] i64 cols() const { return cols_; }
+  [[nodiscard]] i64 size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& at(i64 r, i64 c) { return data_[static_cast<std::size_t>(r * cols_ + c)]; }
+  [[nodiscard]] const T& at(i64 r, i64 c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] T& operator()(i64 r, i64 c) { return at(r, c); }
+  [[nodiscard]] const T& operator()(i64 r, i64 c) const { return at(r, c); }
+
+  [[nodiscard]] std::span<T> row(i64 r) {
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const T> row(i64 r) const {
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  AlignedVector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixI32 = Matrix<i32>;
+
+/// C = A * B in fp32, single-threaded reference used by tests.
+MatrixF matmul_reference(const MatrixF& a, const MatrixF& b);
+
+/// C = A * B over int32, single-threaded reference used by tests.
+MatrixI32 matmul_reference(const MatrixI32& a, const MatrixI32& b);
+
+/// Max-absolute-difference between two same-shape fp32 matrices.
+float max_abs_diff(const MatrixF& a, const MatrixF& b);
+
+}  // namespace qgtc

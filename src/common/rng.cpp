@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace qgtc {
+
+float Rng::next_gaussian() {
+  // Box-Muller; discards the paired value to keep the generator stateless
+  // beyond its xoshiro state.
+  float u1 = next_float();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float u2 = next_float();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  return r * std::cos(6.2831853f * u2);
+}
+
+}  // namespace qgtc

@@ -1,0 +1,62 @@
+// Deterministic, fast RNG (splitmix64 + xoshiro256**). Every experiment in
+// the repo derives its randomness from an explicit seed so runs reproduce
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  u64 next_below(u64 n) { return n == 0 ? 0 : next_u64() % n; }
+
+  /// Uniform in [lo, hi].
+  i64 next_in(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() { return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f; }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  float next_gaussian();
+
+  bool next_bool(float p_true) { return next_float() < p_true; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+}  // namespace qgtc

@@ -1,0 +1,56 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+
+namespace qgtc::core {
+
+TunedConfig generate_runtime_config(const DatasetSpec& spec,
+                                    const gnn::GnnConfig& model,
+                                    const DeviceProfile& dev) {
+  QGTC_CHECK(spec.num_nodes > 0, "dataset spec has no nodes");
+  QGTC_CHECK(dev.target_partition_nodes > 0 && dev.parallel_units > 0 &&
+                 dev.memory_bytes > 0,
+             "device profile fields must be positive");
+  TunedConfig t;
+
+  // Partition count: aim for target_partition_nodes per subgraph, clamped to
+  // a sane range (at least one partition per parallel unit so batching can
+  // feed the device; at most one partition per 8 nodes so TC tiles are not
+  // all padding).
+  const i64 by_size = ceil_div(spec.num_nodes, dev.target_partition_nodes);
+  t.num_partitions = std::clamp<i64>(by_size, dev.parallel_units,
+                                     std::max<i64>(spec.num_nodes / 8, dev.parallel_units));
+
+  // Batch size: grow until the packed batch (1-bit N_b^2 adjacency + s-bit
+  // activations across the widest layer) would exceed a conservative slice
+  // of device memory, or until a batch spans ~2x the parallel units.
+  const i64 mem_budget = dev.memory_bytes / 4;  // leave room for weights/etc.
+  const i64 avg_part_nodes = ceil_div(spec.num_nodes, t.num_partitions);
+  const i64 widest_dim =
+      std::max({spec.feature_dim, model.hidden_dim, model.out_dim});
+  i64 batch = 1;
+  while (batch < 2 * dev.parallel_units) {
+    const i64 nb = avg_part_nodes * (batch + 1);
+    const i64 adj_bits = pad8(nb) * pad128(nb);
+    const i64 act_bits = pad8(nb) * pad128(widest_dim) *
+                         static_cast<i64>(model.feat_bits);
+    const i64 bytes = (adj_bits + act_bits) / 8;
+    if (bytes > mem_budget) break;
+    ++batch;
+  }
+  t.batch_size = std::min<i64>(batch, t.num_partitions);
+
+  const i64 nb = avg_part_nodes * t.batch_size;
+  t.batch_bytes_estimate =
+      (pad8(nb) * pad128(nb) +
+       pad8(nb) * pad128(widest_dim) * static_cast<i64>(model.feat_bits)) /
+      8;
+  return t;
+}
+
+void apply(const TunedConfig& tuned, EngineConfig& cfg) {
+  cfg.num_partitions = tuned.num_partitions;
+  cfg.batch_size = tuned.batch_size;
+}
+
+}  // namespace qgtc::core

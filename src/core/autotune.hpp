@@ -1,0 +1,40 @@
+// Runtime configuration generation (paper artifact appendix: "the runtime
+// configuration generation on the host-side CPU program makes QGTC more
+// adaptive towards various kinds of input settings").
+//
+// Given a dataset's shape and a device resource envelope, picks the
+// partition count and batch size the engine should use: partitions sized for
+// dense-but-parallel subgraphs, batches sized to fill the device without
+// exceeding its memory budget.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace qgtc::core {
+
+/// Device resource envelope (defaults approximate the paper's RTX3090:
+/// 24 GB, 82 SMs; on the CPU substrate "SMs" are worker threads).
+struct DeviceProfile {
+  i64 memory_bytes = i64{24} * 1024 * 1024 * 1024;
+  i64 parallel_units = 82;
+  /// Target nodes per partition (paper's 1,500-partition settings put a few
+  /// hundred nodes in each).
+  i64 target_partition_nodes = 160;
+};
+
+struct TunedConfig {
+  i64 num_partitions = 0;
+  i64 batch_size = 0;
+  /// Estimated per-batch device bytes (packed adjacency + activations).
+  i64 batch_bytes_estimate = 0;
+};
+
+/// Deterministically derives engine knobs from dataset shape + profile.
+TunedConfig generate_runtime_config(const DatasetSpec& spec,
+                                    const gnn::GnnConfig& model,
+                                    const DeviceProfile& dev = {});
+
+/// Applies a tuned config onto an EngineConfig.
+void apply(const TunedConfig& tuned, EngineConfig& cfg);
+
+}  // namespace qgtc::core

@@ -1,0 +1,118 @@
+#include "core/engine.hpp"
+
+#include "common/timer.hpp"
+#include "kernels/zerotile.hpp"
+
+namespace qgtc::core {
+
+QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
+    : cfg_(cfg), dataset_(&dataset) {
+  QGTC_CHECK(cfg.model.in_dim == dataset.spec.feature_dim,
+             "model in_dim must match dataset feature dim");
+  QGTC_CHECK(cfg.model.out_dim == dataset.spec.num_classes,
+             "model out_dim must match dataset class count");
+
+  const PartitionResult parts =
+      partition_graph(dataset.graph, cfg.num_partitions, {});
+  batches_ = make_batches(parts, cfg.batch_size);
+
+  model_ = gnn::QgtcModel::create(cfg.model, cfg.seed);
+
+  data_.reserve(batches_.size());
+  for (const SubgraphBatch& b : batches_) {
+    BatchData bd;
+    bd.batch = b;
+    bd.adj = build_batch_adjacency(dataset.graph, b, /*add_self_loops=*/true);
+    bd.tile_map = build_tile_map(bd.adj);
+    bd.local = build_batch_csr(dataset.graph, b, /*add_self_loops=*/true);
+    bd.features = gather_rows(dataset.features, b.nodes);
+    bd.x_planes = model_.prepare_input(bd.features);
+    data_.push_back(std::move(bd));
+  }
+
+  // Requantization shifts come from one representative batch (§4.5's fused
+  // epilogue needs them fixed before inference).
+  if (!data_.empty()) {
+    model_.calibrate(data_.front().adj, data_.front().features);
+  }
+}
+
+EngineStats QgtcEngine::run_quantized(int rounds) {
+  QGTC_CHECK(rounds >= 1, "rounds must be >= 1");
+  EngineStats stats;
+  stats.batches = num_batches();
+  gnn::ForwardStats fwd;
+  // Warm-up epoch (first-touch allocation, page faults).
+  for (const BatchData& bd : data_) {
+    (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes, nullptr);
+  }
+  Timer t;
+  for (int r = 0; r < rounds; ++r) {
+    for (const BatchData& bd : data_) {
+      (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes, &fwd);
+      stats.nodes += bd.batch.size();
+    }
+  }
+  stats.forward_seconds = t.seconds() / rounds;
+  stats.nodes /= rounds;
+  stats.tiles_jumped = fwd.tiles_jumped / rounds;
+  stats.bmma_ops = fwd.bmma_ops / rounds;
+  return stats;
+}
+
+EngineStats QgtcEngine::run_fp32(int rounds) {
+  QGTC_CHECK(rounds >= 1, "rounds must be >= 1");
+  EngineStats stats;
+  stats.batches = num_batches();
+  for (const BatchData& bd : data_) {
+    (void)model_.forward_fp32(bd.local, bd.features);
+  }
+  Timer t;
+  for (int r = 0; r < rounds; ++r) {
+    for (const BatchData& bd : data_) {
+      (void)model_.forward_fp32(bd.local, bd.features);
+      stats.nodes += bd.batch.size();
+    }
+  }
+  stats.forward_seconds = t.seconds() / rounds;
+  stats.nodes /= rounds;
+  return stats;
+}
+
+EngineStats QgtcEngine::transfer_accounting() const {
+  EngineStats stats;
+  stats.batches = num_batches();
+  transfer::PcieModel pcie;
+  transfer::StagingBuffer staging;
+  for (const BatchData& bd : data_) {
+    // Packed path: 1-bit adjacency + s-bit embedding planes as one compound
+    // object.
+    const QuantParams qp =
+        quant_params_from_data(bd.features, cfg_.model.feat_bits);
+    const MatrixI32 q = quantize_matrix(bd.features, qp);
+    const auto planes = StackedBitTensor::decompose(
+        q, cfg_.model.feat_bits, BitLayout::kColMajorK, PadPolicy::kTile8);
+    const auto packed = transfer::pack_batch(bd.adj, planes, staging, pcie);
+    stats.packed_bytes += packed.total_bytes;
+    stats.packed_transfer_seconds += packed.modeled_seconds;
+
+    const auto dense = transfer::dense_fp32_baseline(
+        bd.batch.size(), dataset_->spec.feature_dim, pcie);
+    stats.dense_bytes += dense.total_bytes;
+    stats.dense_transfer_seconds += dense.modeled_seconds;
+  }
+  return stats;
+}
+
+double QgtcEngine::nonzero_tile_ratio() const {
+  i64 total = 0, nonzero = 0;
+  for (const BatchData& bd : data_) {
+    const TileMap map = build_tile_map(bd.adj);
+    total += map.total_tiles();
+    nonzero += map.nonzero_tiles();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(nonzero) / static_cast<double>(total);
+}
+
+}  // namespace qgtc::core

@@ -1,0 +1,86 @@
+// QgtcEngine — the public end-to-end pipeline a downstream user adopts:
+// dataset -> METIS-substitute partitioning -> subgraph batching -> packed
+// transfer -> per-batch quantized GNN inference on the tensor-core
+// substrate, with the fp32 DGL-substitute path available for comparison.
+//
+// Like the paper's evaluation (§6, artifact appendix), reported inference
+// time covers the quantized forward pass over all batches; partitioning,
+// feature generation and weight preparation are one-time preprocessing and
+// excluded. Host->device transfer is accounted separately via the PCIe
+// model.
+#pragma once
+
+#include <vector>
+
+#include "gnn/model.hpp"
+#include "graph/generator.hpp"
+#include "transfer/packing.hpp"
+
+namespace qgtc::core {
+
+struct EngineConfig {
+  gnn::GnnConfig model;
+  i64 num_partitions = 1500;  // paper's METIS setting
+  i64 batch_size = 16;        // partitions per batch
+  u64 seed = 3;
+};
+
+struct EngineStats {
+  // Forward-pass wall time over one full epoch (all batches), seconds.
+  double forward_seconds = 0.0;
+  i64 batches = 0;
+  i64 nodes = 0;
+  // Substrate counters accumulated over the epoch.
+  i64 tiles_jumped = 0;
+  i64 bmma_ops = 0;
+  // Transfer accounting (bytes staged + modelled PCIe seconds).
+  i64 packed_bytes = 0;
+  double packed_transfer_seconds = 0.0;
+  i64 dense_bytes = 0;
+  double dense_transfer_seconds = 0.0;
+};
+
+class QgtcEngine {
+ public:
+  /// Prepares partitions, batches, per-batch adjacencies/features and the
+  /// calibrated quantized model. All of this is preprocessing (untimed).
+  QgtcEngine(const Dataset& dataset, const EngineConfig& cfg);
+
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  [[nodiscard]] const gnn::QgtcModel& model() const { return model_; }
+  [[nodiscard]] i64 num_batches() const { return static_cast<i64>(batches_.size()); }
+
+  /// Quantized QGTC inference over every batch, `rounds` epochs averaged.
+  EngineStats run_quantized(int rounds = 1);
+
+  /// fp32 DGL-substitute inference over every batch.
+  EngineStats run_fp32(int rounds = 1);
+
+  /// Transfer accounting for the whole epoch (packed vs dense fp32, §4.6).
+  EngineStats transfer_accounting() const;
+
+  /// Zero-tile census across every batch adjacency (Figure 8's metric).
+  [[nodiscard]] double nonzero_tile_ratio() const;
+
+  /// Per-batch prepared data, exposed for the ablation/zero-tile benches.
+  struct BatchData {
+    SubgraphBatch batch;
+    BitMatrix adj;      // dense binary adjacency, kRowMajorK
+    TileMap tile_map;   // cached zero-tile map of adj (reused across layers)
+    CsrGraph local;     // same adjacency as CSR (fp32 baseline path)
+    MatrixF features;   // gathered fp32 features
+    StackedBitTensor x_planes;  // host-packed quantized input (§4.6)
+  };
+  [[nodiscard]] const std::vector<BatchData>& batch_data() const {
+    return data_;
+  }
+
+ private:
+  EngineConfig cfg_;
+  const Dataset* dataset_;
+  gnn::QgtcModel model_;
+  std::vector<SubgraphBatch> batches_;
+  std::vector<BatchData> data_;
+};
+
+}  // namespace qgtc::core

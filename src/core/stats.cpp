@@ -1,0 +1,48 @@
+#include "core/stats.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace qgtc::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::add_row(std::vector<std::string> cells) {
+  QGTC_CHECK(cells.size() == headers_.size(),
+             "row width does not match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::fmt(double v, int prec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+std::string TablePrinter::fmt_pct(double v, int prec) {
+  return fmt(v * 100.0, prec) + "%";
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace qgtc::core

@@ -1,0 +1,31 @@
+// Small fixed-width table printer used by the benchmark harness so every
+// bench emits paper-style rows (same columns as the corresponding
+// table/figure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc::core {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` decimals.
+  static std::string fmt(double v, int prec = 2);
+  static std::string fmt_pct(double v, int prec = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qgtc::core

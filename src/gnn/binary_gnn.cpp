@@ -1,0 +1,141 @@
+#include "gnn/binary_gnn.hpp"
+
+#include <bit>
+
+#include "kernels/bmm.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc::gnn {
+
+BitMatrix pack_pm1(const MatrixI32& pm1, BitLayout layout, PadPolicy pad) {
+  BitMatrix bm(pm1.rows(), pm1.cols(), layout, pad);
+  for (i64 r = 0; r < pm1.rows(); ++r) {
+    for (i64 c = 0; c < pm1.cols(); ++c) {
+      const i32 v = pm1(r, c);
+      QGTC_CHECK(v == 1 || v == -1, "pack_pm1 expects +-1 values");
+      if (v == 1) bm.set(r, c, true);
+    }
+  }
+  return bm;
+}
+
+MatrixI32 sign_pm1(const MatrixI32& m) {
+  MatrixI32 out(m.rows(), m.cols());
+  parallel_for(0, m.size(), [&](i64 i) {
+    out.data()[i] = m.data()[i] >= 0 ? 1 : -1;
+  });
+  return out;
+}
+
+MatrixI32 sign_pm1(const MatrixF& m) {
+  MatrixI32 out(m.rows(), m.cols());
+  parallel_for(0, m.size(), [&](i64 i) {
+    out.data()[i] = m.data()[i] >= 0.0f ? 1 : -1;
+  });
+  return out;
+}
+
+MatrixI32 xnor_mm_pm1(const BitMatrix& a, const BitMatrix& b, i64 logical_k) {
+  // XOR popcount counts disagreements d; the +-1 dot product over K terms is
+  // (K - d) - d = K - 2d. Padding bits are zero in both operands, so they
+  // contribute zero disagreements.
+  BmmOptions opt;
+  opt.op = tcsim::BmmaOp::kXor;
+  MatrixI32 padded = make_padded_accumulator(a, b);
+  bmm_accumulate(a, b, padded, /*shift=*/0, opt);
+  MatrixI32 out = slice_logical(padded, a.rows(), b.cols());
+  const i32 k = static_cast<i32>(logical_k);
+  parallel_for(0, out.size(), [&](i64 i) {
+    out.data()[i] = k - 2 * out.data()[i];
+  });
+  return out;
+}
+
+std::vector<i32> adjacency_row_degrees(const BitMatrix& adj) {
+  QGTC_CHECK(adj.layout() == BitLayout::kRowMajorK,
+             "row degrees need the kRowMajorK layout");
+  std::vector<i32> deg(static_cast<std::size_t>(adj.rows()), 0);
+  parallel_for(0, adj.rows(), [&](i64 r) {
+    const u32* words = adj.row_words(r);
+    i32 d = 0;
+    for (i64 w = 0; w < adj.k_words(); ++w) d += std::popcount(words[w]);
+    deg[static_cast<std::size_t>(r)] = d;
+  });
+  return deg;
+}
+
+MatrixI32 binary_aggregate(const BitMatrix& adj, const BitMatrix& x_plus,
+                           const std::vector<i32>& row_degree,
+                           bool zero_tile_jump) {
+  QGTC_CHECK(static_cast<i64>(row_degree.size()) == adj.rows(),
+             "row_degree size must match adjacency rows");
+  // popcnt(adj AND x+) counts +1 neighbours p; the +-1 sum over deg
+  // neighbours is p - (deg - p) = 2p - deg. AND semantics keep zero-tile
+  // jumping valid here.
+  BmmOptions opt;
+  opt.zero_tile_jump = zero_tile_jump;
+  MatrixI32 padded = make_padded_accumulator(adj, x_plus);
+  bmm_accumulate(adj, x_plus, padded, /*shift=*/0, opt);
+  MatrixI32 out = slice_logical(padded, adj.rows(), x_plus.cols());
+  parallel_for(0, out.rows(), [&](i64 r) {
+    const i32 d = row_degree[static_cast<std::size_t>(r)];
+    i32* row = out.row(r).data();
+    for (i64 c = 0; c < out.cols(); ++c) row[c] = 2 * row[c] - d;
+  });
+  return out;
+}
+
+BinaryGnnModel BinaryGnnModel::create(const GnnConfig& cfg, u64 seed) {
+  BinaryGnnModel m;
+  m.cfg_ = cfg;
+  for (const LayerWeights& lw : init_weights(cfg, seed)) {
+    MatrixI32 w = sign_pm1(lw.w);
+    m.w_bits_.push_back(pack_pm1(w, BitLayout::kColMajorK));
+    m.w_pm1_.push_back(std::move(w));
+  }
+  return m;
+}
+
+MatrixI32 BinaryGnnModel::forward(const BitMatrix& adj, const MatrixF& x) const {
+  const std::vector<i32> deg = adjacency_row_degrees(adj);
+  MatrixI32 act = sign_pm1(x);
+  MatrixI32 scores;
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    const bool last = (l + 1 == cfg_.num_layers);
+    // Aggregate +-1 activations over the binary adjacency (+1 bits packed
+    // on the B side).
+    const BitMatrix x_plus = pack_pm1(act, BitLayout::kColMajorK);
+    const MatrixI32 agg = binary_aggregate(adj, x_plus, deg);
+    // Binarize the aggregate and update with +-1 weights via XOR GEMM.
+    const MatrixI32 h = sign_pm1(agg);
+    const BitMatrix h_bits = pack_pm1(h, BitLayout::kRowMajorK);
+    scores = xnor_mm_pm1(h_bits, w_bits_[static_cast<std::size_t>(l)], h.cols());
+    if (last) break;
+    act = sign_pm1(scores);
+  }
+  return scores;
+}
+
+MatrixI32 BinaryGnnModel::forward_reference(const BitMatrix& adj,
+                                            const MatrixF& x) const {
+  MatrixI32 act = sign_pm1(x);
+  MatrixI32 scores;
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    const bool last = (l + 1 == cfg_.num_layers);
+    // Naive aggregation: sum +-1 activations of adjacency-connected nodes.
+    MatrixI32 agg(adj.rows(), act.cols(), 0);
+    for (i64 i = 0; i < adj.rows(); ++i) {
+      for (i64 j = 0; j < adj.cols(); ++j) {
+        if (!adj.get(i, j)) continue;
+        for (i64 c = 0; c < act.cols(); ++c) agg(i, c) += act(j, c);
+      }
+    }
+    const MatrixI32 h = sign_pm1(agg);
+    scores = matmul_reference(h, w_pm1_[static_cast<std::size_t>(l)]);
+    if (last) break;
+    act = sign_pm1(scores);
+  }
+  return scores;
+}
+
+}  // namespace qgtc::gnn

@@ -1,0 +1,60 @@
+// Fully binarized (+-1) GNN on the tensor-core substrate — the extension the
+// paper positions TC XOR support for (§2.3 cites Binary Graph Neural
+// Networks; §3.1 builds on binarized-NN arithmetic). Weights and activations
+// are sign-binarized; the update GEMM runs as XOR+popcount
+// (dot = K - 2 * popcnt(a XOR b)) and the aggregation as AND+popcount with a
+// degree correction (sum of +-1 neighbours = 2 * popcnt(adj AND x+) - deg).
+#pragma once
+
+#include "bittensor/bit_matrix.hpp"
+#include "gnn/layers.hpp"
+#include "graph/batching.hpp"
+
+namespace qgtc::gnn {
+
+/// Packs a +-1 matrix as bits (+1 -> 1, -1 -> 0).
+BitMatrix pack_pm1(const MatrixI32& pm1, BitLayout layout,
+                   PadPolicy pad = PadPolicy::kTile8);
+
+/// Sign-binarize an int32 matrix to +-1 (>= 0 maps to +1).
+MatrixI32 sign_pm1(const MatrixI32& m);
+
+/// Sign-binarize an fp32 matrix to +-1.
+MatrixI32 sign_pm1(const MatrixF& m);
+
+/// C = A x B where both operands are +-1 matrices stored as bits:
+/// C[i,j] = K - 2 * popcnt(row_a XOR col_b). Exact integer result.
+MatrixI32 xnor_mm_pm1(const BitMatrix& a, const BitMatrix& b, i64 logical_k);
+
+/// Y = Adj x X where Adj is 0/1 (kRowMajorK) and X is +-1 bits (kColMajorK):
+/// Y[i,j] = 2 * popcnt(adj_i AND xplus_j) - deg(i). `row_degree` must hold
+/// the row sums of Adj (self-loops included if present).
+MatrixI32 binary_aggregate(const BitMatrix& adj, const BitMatrix& x_plus,
+                           const std::vector<i32>& row_degree,
+                           bool zero_tile_jump = true);
+
+/// Row degrees of a packed 0/1 adjacency (popcount per row).
+std::vector<i32> adjacency_row_degrees(const BitMatrix& adj);
+
+/// A fully binarized Cluster-GCN-style model: per layer, aggregate +-1
+/// activations over the binary adjacency, update with +-1 weights via XOR
+/// GEMM, and re-binarize by sign. The final layer emits int32 scores.
+class BinaryGnnModel {
+ public:
+  static BinaryGnnModel create(const GnnConfig& cfg, u64 seed);
+
+  [[nodiscard]] const GnnConfig& config() const { return cfg_; }
+
+  /// Forward one batch: fp32 features are sign-binarized at the input.
+  MatrixI32 forward(const BitMatrix& adj, const MatrixF& x) const;
+
+  /// Integer reference implementation (naive loops) for testing.
+  MatrixI32 forward_reference(const BitMatrix& adj, const MatrixF& x) const;
+
+ private:
+  GnnConfig cfg_;
+  std::vector<MatrixI32> w_pm1_;     // +-1 weights per layer
+  std::vector<BitMatrix> w_bits_;    // packed kColMajorK
+};
+
+}  // namespace qgtc::gnn

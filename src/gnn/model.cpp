@@ -1,0 +1,288 @@
+#include "gnn/model.hpp"
+
+#include <algorithm>
+
+#include "baselines/dgl_fp32.hpp"
+
+namespace qgtc::gnn {
+
+namespace {
+
+/// ReLU + right-shift + clamp requantization of an int32 activation matrix
+/// (the unfused counterpart of the kernel epilogue, used for calibration and
+/// the no-fusion ablation).
+MatrixI32 requantize(const MatrixI32& m, int rshift, int bits) {
+  const i32 qmax = static_cast<i32>((u32{1} << bits) - 1);
+  MatrixI32 out(m.rows(), m.cols());
+  for (i64 i = 0; i < m.size(); ++i) {
+    i32 v = m.data()[i];
+    if (v < 0) v = 0;
+    v >>= rshift;
+    out.data()[i] = std::min(v, qmax);
+  }
+  return out;
+}
+
+i32 max_value(const MatrixI32& m) {
+  i32 mx = 0;
+  for (i64 i = 0; i < m.size(); ++i) mx = std::max(mx, m.data()[i]);
+  return mx;
+}
+
+}  // namespace
+
+QgtcModel QgtcModel::create(const GnnConfig& cfg, u64 seed) {
+  return from_weights(cfg, init_weights(cfg, seed));
+}
+
+QgtcModel QgtcModel::from_weights(const GnnConfig& cfg,
+                                  std::vector<LayerWeights> weights) {
+  QGTC_CHECK(static_cast<int>(weights.size()) == cfg.num_layers,
+             "weight count does not match layer count");
+  QgtcModel m;
+  m.cfg_ = cfg;
+  m.fp_weights_ = std::move(weights);
+  m.agg_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
+  m.upd_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
+  m.upd2_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
+  m.quantize_weights();
+  return m;
+}
+
+void QgtcModel::quantize_weights() {
+  w_qparams_.clear();
+  w_planes_.clear();
+  w2_planes_.clear();
+  for (const LayerWeights& lw : fp_weights_) {
+    // Weights are quantized once and cached as packed planes (§3.2: W is
+    // reused across every subgraph of a layer, so decomposition is
+    // pre-computed).
+    const QuantParams qp = quant_params_from_data(lw.w, cfg_.weight_bits);
+    w_qparams_.push_back(qp);
+    const MatrixI32 q = quantize_matrix(lw.w, qp);
+    w_planes_.push_back(StackedBitTensor::decompose(
+        q, cfg_.weight_bits, BitLayout::kColMajorK, PadPolicy::kTile8));
+    if (cfg_.gin_mlp) {
+      QGTC_CHECK(!lw.w2.empty(), "gin_mlp requires a second weight matrix");
+      const QuantParams qp2 = quant_params_from_data(lw.w2, cfg_.weight_bits);
+      const MatrixI32 q2 = quantize_matrix(lw.w2, qp2);
+      w2_planes_.push_back(StackedBitTensor::decompose(
+          q2, cfg_.weight_bits, BitLayout::kColMajorK, PadPolicy::kTile8));
+    }
+  }
+}
+
+void QgtcModel::calibrate(const BitMatrix& adj, const MatrixF& x) {
+  const int s = cfg_.feat_bits;
+  BmmOptions opt;
+  opt.zero_tile_jump = cfg_.zero_tile_jump;
+  opt.allow_overflow = (cfg_.feat_bits > 8 || cfg_.weight_bits > 8);
+
+  const QuantParams xqp = quant_params_from_data(x, s);
+  MatrixI32 xq = quantize_matrix(x, xqp);
+
+  const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
+  // GCN consumes X on the aggregation B side first; GIN on the update A side.
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    const bool last = (l + 1 == cfg_.num_layers);
+    if (gcn) {
+      auto xp = StackedBitTensor::decompose(xq, s, BitLayout::kColMajorK,
+                                            PadPolicy::kTile8);
+      MatrixI32 agg = aggregate_1bit(adj, xp, cfg_.reuse, opt);
+      agg_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(agg), s);
+      const MatrixI32 xn_q = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
+      auto xn = StackedBitTensor::decompose(xn_q, s, BitLayout::kRowMajorK,
+                                            PadPolicy::kTile8);
+      MatrixI32 upd = bitmm_to_int(xn, w_planes_[static_cast<std::size_t>(l)], opt);
+      if (last) break;
+      upd_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd), s);
+      xq = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+    } else {
+      auto xp = StackedBitTensor::decompose(xq, s, BitLayout::kRowMajorK,
+                                            PadPolicy::kTile8);
+      MatrixI32 upd = bitmm_to_int(xp, w_planes_[static_cast<std::size_t>(l)], opt);
+      upd_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd), s);
+      MatrixI32 xu_q = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+      if (cfg_.gin_mlp) {
+        // Second MLP stage: requantized stage-1 output feeds another GEMM.
+        auto xm = StackedBitTensor::decompose(xu_q, s, BitLayout::kRowMajorK,
+                                              PadPolicy::kTile8);
+        MatrixI32 upd2 = bitmm_to_int(xm, w2_planes_[static_cast<std::size_t>(l)], opt);
+        upd2_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd2), s);
+        xu_q = requantize(upd2, upd2_rshift_[static_cast<std::size_t>(l)], s);
+      }
+      auto xu = StackedBitTensor::decompose(xu_q, s, BitLayout::kColMajorK,
+                                            PadPolicy::kTile8);
+      MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, opt);
+      if (last) break;
+      agg_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(agg), s);
+      xq = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
+    }
+  }
+  calibrated_ = true;
+}
+
+StackedBitTensor QgtcModel::prepare_input(const MatrixF& x) const {
+  const QuantParams xqp = quant_params_from_data(x, cfg_.feat_bits);
+  const MatrixI32 xq = quantize_matrix(x, xqp);
+  const BitLayout layout = cfg_.kind == ModelKind::kClusterGCN
+                               ? BitLayout::kColMajorK
+                               : BitLayout::kRowMajorK;
+  return StackedBitTensor::decompose(xq, cfg_.feat_bits, layout,
+                                     PadPolicy::kTile8);
+}
+
+MatrixI32 QgtcModel::forward_quantized(const BitMatrix& adj, const MatrixF& x,
+                                       ForwardStats* stats) const {
+  return forward_prepared(adj, nullptr, prepare_input(x), stats);
+}
+
+MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
+                                      const TileMap* tile_map,
+                                      const StackedBitTensor& x_planes,
+                                      ForwardStats* stats) const {
+  const int s = cfg_.feat_bits;
+  BmmOptions opt;
+  opt.zero_tile_jump = cfg_.zero_tile_jump;
+  opt.tile_map = tile_map;
+  opt.allow_overflow = (cfg_.feat_bits > 8 || cfg_.weight_bits > 8);
+
+  tcsim::Counters before;
+  if (stats != nullptr) before = tcsim::snapshot_counters();
+
+  const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
+  // `cur` tracks the packed activation between layers without copying the
+  // caller's input planes.
+  const StackedBitTensor* cur = &x_planes;
+  StackedBitTensor next;
+
+  MatrixI32 logits;
+  if (cfg_.fused_epilogue) {
+    if (gcn) {
+      for (int l = 0; l < cfg_.num_layers; ++l) {
+        const bool last = (l + 1 == cfg_.num_layers);
+        FusedEpilogue agg_epi;
+        agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
+        auto xn = aggregate_fused_bit(adj, *cur, s, agg_epi, opt,
+                                      PadPolicy::kTile8);
+        if (last) {
+          logits = bitmm_fused_int(xn, w_planes_[static_cast<std::size_t>(l)], {}, opt);
+          break;
+        }
+        FusedEpilogue upd_epi;
+        upd_epi.relu = true;
+        upd_epi.rshift = upd_rshift_[static_cast<std::size_t>(l)];
+        next = bitmm_fused_bit(xn, w_planes_[static_cast<std::size_t>(l)], s, upd_epi,
+                               opt, PadPolicy::kTile8, BitLayout::kColMajorK);
+        cur = &next;
+      }
+    } else {
+      for (int l = 0; l < cfg_.num_layers; ++l) {
+        const bool last = (l + 1 == cfg_.num_layers);
+        FusedEpilogue upd_epi;
+        upd_epi.relu = true;
+        upd_epi.rshift = upd_rshift_[static_cast<std::size_t>(l)];
+        auto xu = cfg_.gin_mlp
+                      ? bitmm_fused_bit(*cur, w_planes_[static_cast<std::size_t>(l)], s,
+                                        upd_epi, opt, PadPolicy::kTile8,
+                                        BitLayout::kRowMajorK)
+                      : StackedBitTensor{};
+        if (cfg_.gin_mlp) {
+          FusedEpilogue mlp2_epi;
+          mlp2_epi.relu = !last;
+          mlp2_epi.rshift = upd2_rshift_[static_cast<std::size_t>(l)];
+          xu = bitmm_fused_bit(xu, w2_planes_[static_cast<std::size_t>(l)], s, mlp2_epi,
+                               opt, PadPolicy::kTile8, BitLayout::kColMajorK);
+        } else {
+          upd_epi.relu = !last;
+          xu = bitmm_fused_bit(*cur, w_planes_[static_cast<std::size_t>(l)], s,
+                               upd_epi, opt, PadPolicy::kTile8,
+                               BitLayout::kColMajorK);
+        }
+        if (last) {
+          logits = aggregate_1bit(adj, xu, cfg_.reuse, opt);
+          break;
+        }
+        FusedEpilogue agg_epi;
+        agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
+        next = aggregate_fused_bit(adj, xu, s, agg_epi, opt, PadPolicy::kTile8);
+        cur = &next;
+      }
+    }
+  } else {
+    // Unfused ablation path: every intermediate activation round-trips
+    // through an int32 matrix + standalone requantization/decomposition.
+    for (int l = 0; l < cfg_.num_layers; ++l) {
+      const bool last = (l + 1 == cfg_.num_layers);
+      if (gcn) {
+        MatrixI32 agg = aggregate_1bit(adj, *cur, cfg_.reuse, opt);
+        const MatrixI32 xn_q = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
+        auto xn = StackedBitTensor::decompose(xn_q, s, BitLayout::kRowMajorK,
+                                              PadPolicy::kTile8);
+        MatrixI32 upd = bitmm_to_int(xn, w_planes_[static_cast<std::size_t>(l)], opt);
+        if (last) {
+          logits = std::move(upd);
+          break;
+        }
+        const MatrixI32 nq = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+        next = StackedBitTensor::decompose(nq, s, BitLayout::kColMajorK,
+                                           PadPolicy::kTile8);
+        cur = &next;
+      } else {
+        MatrixI32 upd = bitmm_to_int(*cur, w_planes_[static_cast<std::size_t>(l)], opt);
+        MatrixI32 xu_q = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+        if (cfg_.gin_mlp) {
+          auto xm = StackedBitTensor::decompose(xu_q, s, BitLayout::kRowMajorK,
+                                                PadPolicy::kTile8);
+          MatrixI32 upd2 = bitmm_to_int(xm, w2_planes_[static_cast<std::size_t>(l)], opt);
+          xu_q = requantize(upd2, upd2_rshift_[static_cast<std::size_t>(l)], s);
+        }
+        auto xu = StackedBitTensor::decompose(xu_q, s, BitLayout::kColMajorK,
+                                              PadPolicy::kTile8);
+        MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, opt);
+        if (last) {
+          logits = std::move(agg);
+          break;
+        }
+        const MatrixI32 nq = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
+        next = StackedBitTensor::decompose(nq, s, BitLayout::kRowMajorK,
+                                           PadPolicy::kTile8);
+        cur = &next;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    const tcsim::Counters after = tcsim::snapshot_counters();
+    stats->tiles_jumped += static_cast<i64>(after.tiles_jumped - before.tiles_jumped);
+    stats->bmma_ops += static_cast<i64>(after.bmma_ops - before.bmma_ops);
+  }
+  return logits;
+}
+
+MatrixF QgtcModel::forward_fp32(const CsrGraph& local, const MatrixF& x) const {
+  using baselines::gemm_f32;
+  using baselines::relu_inplace;
+  using baselines::spmm_csr;
+  MatrixF cur = x;
+  const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
+  for (int l = 0; l < cfg_.num_layers; ++l) {
+    const bool last = (l + 1 == cfg_.num_layers);
+    if (gcn) {
+      MatrixF agg = spmm_csr(local, cur, /*add_self=*/true);
+      cur = gemm_f32(agg, fp_weights_[static_cast<std::size_t>(l)].w);
+      if (!last) relu_inplace(cur);
+    } else {
+      MatrixF upd = gemm_f32(cur, fp_weights_[static_cast<std::size_t>(l)].w);
+      if (cfg_.gin_mlp) {
+        relu_inplace(upd);
+        upd = gemm_f32(upd, fp_weights_[static_cast<std::size_t>(l)].w2);
+      }
+      if (!last) relu_inplace(upd);
+      cur = spmm_csr(local, upd, /*add_self=*/true);
+    }
+  }
+  return cur;
+}
+
+}  // namespace qgtc::gnn

@@ -1,0 +1,84 @@
+// QGTC model runner: the per-batch quantized forward pass built on the
+// kernel stack, plus the fp32 DGL-substitute path it is benchmarked against.
+//
+// Data layout discipline (paper §4.2's padding rules, applied per §4.5's
+// fused hand-over):
+//   Cluster GCN layer: X (kColMajorK) --agg--> X_new (kRowMajorK)
+//                      --update+ReLU--> X' (kColMajorK, next layer's X)
+//   Batched GIN layer: X (kRowMajorK) --update+ReLU--> Xu (kColMajorK)
+//                      --agg--> X' (kRowMajorK, next layer's X)
+// The final layer emits int32 logits (full precision for softmax, §4.5).
+#pragma once
+
+#include "bittensor/stacked.hpp"
+#include "gnn/layers.hpp"
+#include "graph/batching.hpp"
+#include "kernels/anybit_mm.hpp"
+
+namespace qgtc::gnn {
+
+/// Per-batch kernel statistics surfaced to the engine / benches.
+struct ForwardStats {
+  i64 tiles_jumped = 0;
+  i64 bmma_ops = 0;
+};
+
+class QgtcModel {
+ public:
+  /// Builds a model with Xavier weights quantized to cfg.weight_bits.
+  /// Weight bit-planes are cached in the update-side (kColMajorK) layout —
+  /// the §3.2 observation that W is reused across all subgraphs of a layer.
+  static QgtcModel create(const GnnConfig& cfg, u64 seed);
+
+  /// Builds from existing fp32 weights (e.g. QAT-trained).
+  static QgtcModel from_weights(const GnnConfig& cfg,
+                                std::vector<LayerWeights> weights);
+
+  [[nodiscard]] const GnnConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<LayerWeights>& weights() const {
+    return fp_weights_;
+  }
+
+  /// One-time requantization calibration (paper's fused epilogue needs the
+  /// per-layer right-shift fixed before inference; we derive it from one
+  /// representative batch, the standard post-training-calibration recipe).
+  void calibrate(const BitMatrix& adj, const MatrixF& x);
+  [[nodiscard]] bool calibrated() const { return calibrated_; }
+
+  /// Quantized QGTC forward for one batch: returns int32 logits
+  /// (batch_nodes x out_dim). `adj` is the batch's binary adjacency
+  /// (kRowMajorK); `x` the gathered fp32 features. Quantizes + packs the
+  /// input inline — convenient, but production callers should pre-pack with
+  /// `prepare_input` (the paper packs on the host before transfer, §4.6).
+  MatrixI32 forward_quantized(const BitMatrix& adj, const MatrixF& x,
+                              ForwardStats* stats = nullptr) const;
+
+  /// Host-side input packing: quantize to feat_bits and bit-decompose in the
+  /// layout the first layer consumes (kColMajorK for GCN, kRowMajorK for GIN).
+  [[nodiscard]] StackedBitTensor prepare_input(const MatrixF& x) const;
+
+  /// Forward over a pre-packed input. `tile_map` (optional) is the cached
+  /// zero-tile map of `adj`, reused across layers and bit-planes (§3.2).
+  MatrixI32 forward_prepared(const BitMatrix& adj, const TileMap* tile_map,
+                             const StackedBitTensor& x_planes,
+                             ForwardStats* stats = nullptr) const;
+
+  /// fp32 reference forward (the DGL-substitute path) over the batch's
+  /// local CSR. Returns fp32 logits.
+  MatrixF forward_fp32(const CsrGraph& local, const MatrixF& x) const;
+
+ private:
+  GnnConfig cfg_;
+  std::vector<LayerWeights> fp_weights_;
+  std::vector<QuantParams> w_qparams_;
+  std::vector<StackedBitTensor> w_planes_;   // kColMajorK, weight_bits planes
+  std::vector<StackedBitTensor> w2_planes_;  // second MLP stage (gin_mlp)
+  std::vector<int> agg_rshift_;              // per layer
+  std::vector<int> upd_rshift_;              // per layer
+  std::vector<int> upd2_rshift_;             // per layer, MLP stage 2
+  bool calibrated_ = false;
+
+  void quantize_weights();
+};
+
+}  // namespace qgtc::gnn

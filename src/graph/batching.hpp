@@ -1,0 +1,45 @@
+// Subgraph batching (paper §4.1): partitions are grouped into batches; a
+// batch is computed as one dense block-diagonal binary adjacency (edges only
+// connect nodes of the same partition — the main source of Figure 8's
+// all-zero tiles) over the gathered node features.
+#pragma once
+
+#include <vector>
+
+#include "bittensor/bit_matrix.hpp"
+#include "common/matrix.hpp"
+#include "graph/csr.hpp"
+#include "graph/partitioner.hpp"
+
+namespace qgtc {
+
+struct SubgraphBatch {
+  std::vector<i32> nodes;        // global node ids, grouped by partition
+  std::vector<i64> part_bounds;  // prefix offsets into `nodes`, one per part + 1
+  [[nodiscard]] i64 size() const { return static_cast<i64>(nodes.size()); }
+  [[nodiscard]] i64 num_parts() const {
+    return static_cast<i64>(part_bounds.size()) - 1;
+  }
+};
+
+/// Groups consecutive partitions into batches of `batch_size` partitions.
+std::vector<SubgraphBatch> make_batches(const PartitionResult& parts,
+                                        i64 batch_size);
+
+/// Builds the batch's dense binary adjacency (kRowMajorK, PAD8 rows) with
+/// only intra-partition edges, plus self-loops when `add_self_loops`.
+BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,
+                                bool add_self_loops = true);
+
+/// Same adjacency in local CSR form, for the fp32 SpMM baseline.
+CsrGraph build_batch_csr(const CsrGraph& g, const SubgraphBatch& batch,
+                         bool add_self_loops = true);
+
+/// Gathers the feature rows of the batch's nodes: (batch.size() x dim).
+MatrixF gather_rows(const MatrixF& features, const std::vector<i32>& nodes);
+
+/// Gathers labels.
+std::vector<i32> gather_labels(const std::vector<i32>& labels,
+                               const std::vector<i32>& nodes);
+
+}  // namespace qgtc

@@ -1,0 +1,52 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace qgtc {
+
+CsrGraph CsrGraph::from_edges(i64 num_nodes,
+                              std::vector<std::pair<i32, i32>> edges,
+                              bool symmetrize) {
+  QGTC_CHECK(num_nodes >= 0, "node count must be non-negative");
+  // Encode each directed edge as a single u64 key so dedup is one
+  // sort+unique pass (hash sets are too slow/fat at tens of millions of
+  // edges).
+  std::vector<u64> keys;
+  keys.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const auto& [u, v] : edges) {
+    QGTC_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes,
+               "edge endpoint out of range");
+    if (u == v) continue;  // self-loops are added by the model, not stored
+    keys.push_back((static_cast<u64>(static_cast<u32>(u)) << 32) |
+                   static_cast<u32>(v));
+    if (symmetrize) {
+      keys.push_back((static_cast<u64>(static_cast<u32>(v)) << 32) |
+                     static_cast<u32>(u));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.row_ptr_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  g.col_idx_.resize(keys.size());
+  for (const u64 k : keys) ++g.row_ptr_[(k >> 32) + 1];
+  for (i64 v = 0; v < num_nodes; ++v) g.row_ptr_[v + 1] += g.row_ptr_[v];
+  // Keys are sorted, so a single forward pass writes each adjacency list in
+  // ascending neighbour order.
+  std::vector<i64> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (const u64 k : keys) {
+    const i64 u = static_cast<i64>(k >> 32);
+    g.col_idx_[static_cast<std::size_t>(cursor[u]++)] =
+        static_cast<i32>(k & 0xffffffffu);
+  }
+  return g;
+}
+
+bool CsrGraph::has_edge(i64 u, i64 v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), static_cast<i32>(v));
+}
+
+}  // namespace qgtc

@@ -1,0 +1,47 @@
+// Compressed-sparse-row graph storage, the substrate every GNN pipeline in
+// the repo consumes. Graphs are undirected and stored symmetrised.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds a CSR graph from an edge list. Self-loops are dropped, duplicate
+  /// edges are merged, and (optionally) each edge is mirrored so the
+  /// adjacency is symmetric.
+  static CsrGraph from_edges(i64 num_nodes,
+                             std::vector<std::pair<i32, i32>> edges,
+                             bool symmetrize = true);
+
+  [[nodiscard]] i64 num_nodes() const { return num_nodes_; }
+  /// Number of directed edges stored (2x the undirected count after
+  /// symmetrisation).
+  [[nodiscard]] i64 num_edges() const { return static_cast<i64>(col_idx_.size()); }
+
+  [[nodiscard]] i64 degree(i64 v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+
+  [[nodiscard]] std::span<const i32> neighbors(i64 v) const {
+    return {col_idx_.data() + row_ptr_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  [[nodiscard]] const std::vector<i64>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<i32>& col_idx() const { return col_idx_; }
+
+  [[nodiscard]] bool has_edge(i64 u, i64 v) const;
+
+ private:
+  i64 num_nodes_ = 0;
+  std::vector<i64> row_ptr_;
+  std::vector<i32> col_idx_;
+};
+
+}  // namespace qgtc

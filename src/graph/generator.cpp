@@ -1,0 +1,109 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc {
+
+std::vector<DatasetSpec> table1_specs(double products_scale) {
+  QGTC_CHECK(products_scale > 0.0 && products_scale <= 1.0,
+             "products_scale must be in (0, 1]");
+  // |V|, |E|, Dim, #Class straight from Table 1. Cluster counts are chosen
+  // so average community size is a few hundred nodes (METIS-like partition
+  // granularity at 1,500 partitions).
+  std::vector<DatasetSpec> specs = {
+      {"Proteins", 43471, 162088, 29, 2, 192, 11},
+      {"artist", 50515, 1638396, 100, 12, 256, 12},
+      {"BlogCatalog", 88784, 2093195, 128, 39, 384, 13},
+      {"PPI", 56944, 818716, 50, 121, 256, 14},
+      {"ogbn-arxiv", 169343, 1166243, 128, 40, 768, 15},
+      {"ogbn-products",
+       static_cast<i64>(2449029 * products_scale),
+       static_cast<i64>(61859140 * products_scale), 100, 47, 1024, 16},
+  };
+  return specs;
+}
+
+DatasetSpec table1_spec(const std::string& name, double products_scale) {
+  for (const auto& s : table1_specs(products_scale)) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown Table-1 dataset: " + name);
+}
+
+CsrGraph generate_sbm_graph(const DatasetSpec& spec) {
+  QGTC_CHECK(spec.num_nodes > 0 && spec.num_clusters > 0,
+             "SBM spec needs nodes and clusters");
+  const i64 n = spec.num_nodes;
+  const i64 k = std::min(spec.num_clusters, n);
+  const i64 cluster_size = ceil_div(n, k);
+  Rng rng(spec.seed);
+
+  // Nodes are assigned to clusters contiguously: cluster(v) = v / size.
+  // 85 % of edges connect endpoints inside one cluster (planted density the
+  // partitioner should recover), the rest are uniform background.
+  constexpr double kIntraFrac = 0.85;
+  std::vector<std::pair<i32, i32>> edges;
+  edges.reserve(static_cast<std::size_t>(spec.num_edges) + 16);
+  const i64 intra_target = static_cast<i64>(kIntraFrac * static_cast<double>(spec.num_edges));
+  for (i64 e = 0; e < spec.num_edges; ++e) {
+    i32 u, v;
+    if (e < intra_target) {
+      // When cluster_size doesn't divide n, trailing cluster ids map past
+      // the node range; fold them onto the last real cluster.
+      const i64 last_cluster = (n - 1) / cluster_size;
+      const i64 c = std::min<i64>(
+          static_cast<i64>(rng.next_below(static_cast<u64>(k))), last_cluster);
+      const i64 lo = c * cluster_size;
+      const i64 hi = std::min(lo + cluster_size, n);
+      u = static_cast<i32>(lo + static_cast<i64>(rng.next_below(static_cast<u64>(hi - lo))));
+      v = static_cast<i32>(lo + static_cast<i64>(rng.next_below(static_cast<u64>(hi - lo))));
+    } else {
+      u = static_cast<i32>(rng.next_below(static_cast<u64>(n)));
+      v = static_cast<i32>(rng.next_below(static_cast<u64>(n)));
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return CsrGraph::from_edges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+Dataset generate_dataset(const DatasetSpec& spec) {
+  Dataset ds;
+  ds.spec = spec;
+  ds.graph = generate_sbm_graph(spec);
+
+  const i64 n = spec.num_nodes;
+  const i64 d = spec.feature_dim;
+  const i64 k = std::min(spec.num_clusters, n);
+  const i64 cluster_size = ceil_div(n, k);
+
+  // Cluster centroids: unit-scale gaussians; node features are
+  // centroid + 0.5 * noise, giving label signal a GCN can learn (Table 2).
+  MatrixF centroids(k, d);
+  Rng crng(spec.seed ^ 0xfeedULL);
+  for (i64 i = 0; i < centroids.size(); ++i) {
+    centroids.data()[i] = crng.next_gaussian();
+  }
+
+  ds.features = MatrixF(n, d);
+  ds.labels.assign(static_cast<std::size_t>(n), 0);
+  parallel_for(0, n, [&](i64 v) {
+    Rng r(spec.seed ^ (0x1234ULL + static_cast<u64>(v)));
+    const i64 c = v / cluster_size;
+    for (i64 j = 0; j < d; ++j) {
+      ds.features(v, j) = centroids(c, j) + 0.5f * r.next_gaussian();
+    }
+    const i32 base = static_cast<i32>(c % spec.num_classes);
+    // 10 % label noise keeps the task non-trivial.
+    ds.labels[static_cast<std::size_t>(v)] =
+        r.next_bool(0.1f)
+            ? static_cast<i32>(r.next_below(static_cast<u64>(spec.num_classes)))
+            : base;
+  });
+  return ds;
+}
+
+}  // namespace qgtc

@@ -1,0 +1,53 @@
+// Synthetic dataset substrate. The paper evaluates on six real graphs
+// (Table 1); this environment has no network or dataset archive, so we
+// generate seeded stochastic-block-model (SBM) graphs matched to each
+// dataset's |V|, |E|, feature dim and class count (see DESIGN.md,
+// substitution table). Clustered structure is the property every QGTC
+// experiment depends on (METIS-partitionable, dense subgraphs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "graph/csr.hpp"
+
+namespace qgtc {
+
+/// One Table-1 row.
+struct DatasetSpec {
+  std::string name;
+  i64 num_nodes = 0;
+  i64 num_edges = 0;  // undirected edge count, as reported in Table 1
+  i64 feature_dim = 0;
+  i64 num_classes = 0;
+  i64 num_clusters = 0;  // planted communities for the SBM
+  u64 seed = 1;
+};
+
+/// A generated dataset: graph + node features + planted labels.
+struct Dataset {
+  DatasetSpec spec;
+  CsrGraph graph;
+  MatrixF features;           // num_nodes x feature_dim
+  std::vector<i32> labels;    // num_nodes, in [0, num_classes)
+};
+
+/// The six Table-1 datasets. `scale` in (0, 1] shrinks |V| and |E|
+/// proportionally (ogbn-products defaults to 0.1 on this 2-core host;
+/// QGTC_FULL_SCALE=1 restores 1.0 — see bench harness).
+std::vector<DatasetSpec> table1_specs(double products_scale = 0.1);
+
+/// Look up a Table-1 spec by name (throws if unknown).
+DatasetSpec table1_spec(const std::string& name, double products_scale = 0.1);
+
+/// Generates the SBM graph for a spec: nodes are split into `num_clusters`
+/// planted communities; ~85 % of edges are intra-community. Deterministic
+/// in `spec.seed`.
+CsrGraph generate_sbm_graph(const DatasetSpec& spec);
+
+/// Generates features (cluster centroid + gaussian noise) and labels
+/// (cluster-majority class with 10 % label noise) for a generated graph.
+Dataset generate_dataset(const DatasetSpec& spec);
+
+}  // namespace qgtc

@@ -1,0 +1,161 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qgtc::io {
+namespace {
+
+constexpr u32 kMagic = 0x51475443;  // "QGTC"
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  QGTC_CHECK(static_cast<bool>(in), "unexpected end of stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<u64>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const u64 n = read_pod<u64>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  QGTC_CHECK(static_cast<bool>(in), "unexpected end of stream");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<u64>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const u64 n = read_pod<u64>(in);
+  QGTC_CHECK(n < (1u << 20), "implausible string length in dataset stream");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  QGTC_CHECK(static_cast<bool>(in), "unexpected end of stream");
+  return s;
+}
+
+}  // namespace
+
+CsrGraph read_edge_list(std::istream& in, i64 num_nodes) {
+  std::vector<std::pair<i32, i32>> edges;
+  i64 max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    i64 u, v;
+    if (!(ls >> u >> v)) {
+      throw std::invalid_argument("malformed edge-list line: " + line);
+    }
+    max_id = std::max({max_id, u, v});
+    edges.emplace_back(static_cast<i32>(u), static_cast<i32>(v));
+  }
+  const i64 n = num_nodes >= 0 ? num_nodes : max_id + 1;
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+void write_edge_list(std::ostream& out, const CsrGraph& g) {
+  out << "# qgtc edge list: " << g.num_nodes() << " nodes, "
+      << g.num_edges() / 2 << " undirected edges\n";
+  for (i64 u = 0; u < g.num_nodes(); ++u) {
+    for (const i32 v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void save_dataset(std::ostream& out, const Dataset& ds) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_string(out, ds.spec.name);
+  write_pod<i64>(out, ds.spec.num_nodes);
+  write_pod<i64>(out, ds.spec.num_edges);
+  write_pod<i64>(out, ds.spec.feature_dim);
+  write_pod<i64>(out, ds.spec.num_classes);
+  write_pod<i64>(out, ds.spec.num_clusters);
+  write_pod<u64>(out, ds.spec.seed);
+
+  write_vec(out, ds.graph.row_ptr());
+  write_vec(out, ds.graph.col_idx());
+
+  write_pod<i64>(out, ds.features.rows());
+  write_pod<i64>(out, ds.features.cols());
+  out.write(reinterpret_cast<const char*>(ds.features.data()),
+            static_cast<std::streamsize>(ds.features.size() * sizeof(float)));
+  write_vec(out, ds.labels);
+}
+
+Dataset load_dataset(std::istream& in) {
+  QGTC_CHECK(read_pod<u32>(in) == kMagic, "not a QGTC dataset stream");
+  QGTC_CHECK(read_pod<u32>(in) == kVersion, "unsupported dataset version");
+  Dataset ds;
+  ds.spec.name = read_string(in);
+  ds.spec.num_nodes = read_pod<i64>(in);
+  ds.spec.num_edges = read_pod<i64>(in);
+  ds.spec.feature_dim = read_pod<i64>(in);
+  ds.spec.num_classes = read_pod<i64>(in);
+  ds.spec.num_clusters = read_pod<i64>(in);
+  ds.spec.seed = read_pod<u64>(in);
+
+  const std::vector<i64> row_ptr = read_vec<i64>(in);
+  const std::vector<i32> col_idx = read_vec<i32>(in);
+  QGTC_CHECK(static_cast<i64>(row_ptr.size()) == ds.spec.num_nodes + 1,
+             "row_ptr size mismatch");
+  // Rebuild through from_edges to revalidate invariants.
+  std::vector<std::pair<i32, i32>> edges;
+  edges.reserve(col_idx.size());
+  for (i64 u = 0; u < ds.spec.num_nodes; ++u) {
+    for (i64 e = row_ptr[static_cast<std::size_t>(u)];
+         e < row_ptr[static_cast<std::size_t>(u) + 1]; ++e) {
+      edges.emplace_back(static_cast<i32>(u), col_idx[static_cast<std::size_t>(e)]);
+    }
+  }
+  ds.graph = CsrGraph::from_edges(ds.spec.num_nodes, std::move(edges),
+                                  /*symmetrize=*/false);
+
+  const i64 rows = read_pod<i64>(in);
+  const i64 cols = read_pod<i64>(in);
+  ds.features = MatrixF(rows, cols);
+  in.read(reinterpret_cast<char*>(ds.features.data()),
+          static_cast<std::streamsize>(rows * cols * static_cast<i64>(sizeof(float))));
+  QGTC_CHECK(static_cast<bool>(in), "unexpected end of stream");
+  ds.labels = read_vec<i32>(in);
+  QGTC_CHECK(static_cast<i64>(ds.labels.size()) == ds.spec.num_nodes,
+             "label count mismatch");
+  return ds;
+}
+
+void save_dataset_file(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  QGTC_CHECK(out.is_open(), "cannot open file for writing: " + path);
+  save_dataset(out, ds);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QGTC_CHECK(in.is_open(), "cannot open file for reading: " + path);
+  return load_dataset(in);
+}
+
+}  // namespace qgtc::io

@@ -1,0 +1,34 @@
+// Graph and dataset (de)serialization — the host-side data plumbing of the
+// paper's artifact (datasets are shipped as preprocessed binary blobs and
+// loaded by the host program before partitioning).
+//
+// Formats:
+//  * text edge list: one "u v" pair per line, '#' comments;
+//  * QGTC binary dataset: magic + spec + CSR arrays + features + labels,
+//    little-endian, versioned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/generator.hpp"
+
+namespace qgtc::io {
+
+/// Parses a text edge list (num_nodes inferred as max id + 1 unless given).
+CsrGraph read_edge_list(std::istream& in, i64 num_nodes = -1);
+
+/// Writes one undirected edge per line (u < v).
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+
+/// Serializes a full dataset (spec + graph + features + labels).
+void save_dataset(std::ostream& out, const Dataset& ds);
+
+/// Loads a dataset written by save_dataset; throws on bad magic/version.
+Dataset load_dataset(std::istream& in);
+
+/// File-path conveniences.
+void save_dataset_file(const std::string& path, const Dataset& ds);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace qgtc::io

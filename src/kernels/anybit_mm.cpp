@@ -1,0 +1,363 @@
+#include "kernels/anybit_mm.hpp"
+
+#include <array>
+#include "kernels/tile_ops.hpp"
+#include <bit>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc {
+
+
+void check_accumulator_bounds(i64 k, int s_bits, int t_bits) {
+  const i64 max_val = k * ((i64{1} << s_bits) - 1) * ((i64{1} << t_bits) - 1);
+  QGTC_CHECK(max_val <= i64{INT32_MAX},
+             "K * (2^s-1) * (2^t-1) exceeds the int32 accumulator range; "
+             "split K or reduce bitwidths");
+}
+
+int calibrate_rshift(i32 max_acc, int out_bits) {
+  if (max_acc <= 0) return 0;
+  const int bits_needed =
+      32 - std::countl_zero(static_cast<u32>(max_acc));
+  return bits_needed > out_bits ? bits_needed - out_bits : 0;
+}
+
+namespace {
+
+/// Collect the plane pointers of a stacked tensor.
+std::vector<const BitMatrix*> plane_ptrs(const StackedBitTensor& t) {
+  std::vector<const BitMatrix*> p;
+  p.reserve(static_cast<std::size_t>(t.bits()));
+  for (int b = 0; b < t.bits(); ++b) p.push_back(&t.plane(b));
+  return p;
+}
+
+/// True when the 8x128 tile (tm, tk) is zero in every A plane.
+bool tile_zero_all_planes(const std::vector<const BitMatrix*>& ap, i64 tm,
+                          i64 tk) {
+  for (const BitMatrix* p : ap) {
+    if (!tcsim::tile_is_zero(p->row_words(tm * kTileM) + tk * kTileKWords,
+                             p->k_words())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Single-pass any-bit tile sweep (the §4.4 cross-tile reduction generalised
+/// to multi-bit A): for each output tile, every surviving K tile is loaded
+/// once per A plane and multiplied against every B plane before moving on.
+/// `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile.
+///
+/// `parallel_over_n` selects the parallel axis: row-tile blocks when the
+/// consumer writes row-owned data (int32 rows / kRowMajorK planes), and
+/// column-tile blocks when it writes column-owned data (kColMajorK planes),
+/// so plane words are never shared between threads.
+template <typename Consume>
+void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
+                      const std::vector<const BitMatrix*>& bp,
+                      const BmmOptions& opt, bool parallel_over_n,
+                      Consume&& consume) {
+  const BitMatrix& a0 = *ap.front();
+  const BitMatrix& b0 = *bp.front();
+  QGTC_CHECK(a0.layout() == BitLayout::kRowMajorK, "A planes must be kRowMajorK");
+  QGTC_CHECK(b0.layout() == BitLayout::kColMajorK, "B planes must be kColMajorK");
+  QGTC_CHECK(a0.padded_cols() == b0.padded_rows(),
+             "padded K extents of A and B differ");
+
+  const i64 tiles_m = a0.padded_rows() / kTileM;
+  const i64 tiles_n = b0.padded_cols() / kTileN;
+  const i64 tiles_k = a0.padded_cols() / kTileK;
+  const int sa = static_cast<int>(ap.size());
+  const int sb = static_cast<int>(bp.size());
+
+  // Surviving K tiles per row block, shared across the N sweep (and across
+  // threads when parallelising over N).
+  std::vector<std::vector<i64>> k_lists(static_cast<std::size_t>(tiles_m));
+  parallel_for(0, tiles_m, [&](i64 tm) {
+    auto& list = k_lists[static_cast<std::size_t>(tm)];
+    list.reserve(static_cast<std::size_t>(tiles_k));
+    i64 jumped = 0;
+    for (i64 tk = 0; tk < tiles_k; ++tk) {
+      if (opt.zero_tile_jump) {
+        const bool nz = (opt.tile_map != nullptr && sa == 1)
+                            ? opt.tile_map->is_nonzero(tm, tk)
+                            : !tile_zero_all_planes(ap, tm, tk);
+        if (!nz) {
+          ++jumped;
+          continue;
+        }
+      }
+      list.push_back(tk);
+    }
+    if (jumped > 0) {
+      tcsim::thread_counters().tiles_jumped += static_cast<u64>(jumped);
+    }
+  });
+
+  if (parallel_over_n) {
+    // ColMajorK consumers: parallel over output-column tiles. These products
+    // are small (few column tiles), so the simple per-(tm, tn) path is fine.
+    parallel_for_dynamic(0, tiles_n, /*chunk=*/1, [&](i64 tn) {
+      std::array<i32, 64> acc;
+      detail::TileAcc tile;
+      for (i64 tm = 0; tm < tiles_m; ++tm) {
+        acc.fill(0);
+        tile.reset();
+        const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
+        for (const i64 tk : k_list) {
+          for (int ab = 0; ab < sa; ++ab) {
+            const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
+            const u32* a_tile = pa.row_words(tm * kTileM) + tk * kTileKWords;
+            for (int bb = 0; bb < sb; ++bb) {
+              const BitMatrix& pb = *bp[static_cast<std::size_t>(bb)];
+              tile.mma(a_tile, pa.k_words(),
+                       pb.col_words(tn * kTileN) + tk * kTileKWords,
+                       pb.k_words(), ab + bb);
+            }
+          }
+        }
+        tile.flush(acc.data());
+        consume(tm, tn, acc);
+        auto& counters = tcsim::thread_counters();
+        const u64 kt = static_cast<u64>(k_list.size());
+        counters.bmma_ops += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
+        counters.frag_loads_a += kt * static_cast<u64>(sa);
+        counters.frag_loads_b += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
+      }
+    });
+  } else {
+    // Cross-tile reduction (§4.4), panel form: a loaded A tile (one per
+    // surviving (tk, plane)) is swept across a block of output-column tiles
+    // and every B bit-plane before the next A tile is touched. This both
+    // realises the paper's O(1)-loads claim and amortises per-output-tile
+    // bookkeeping over the whole K reduction.
+    constexpr i64 kTnBlock = 8;
+    parallel_for_dynamic(0, tiles_m, /*chunk=*/1, [&](i64 tm) {
+      const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
+      std::array<detail::TileAcc, kTnBlock> tiles;
+      detail::TileAcc::APanel apanel;
+      std::array<i32, 64> acc;
+      i64 a_loads = 0;
+      for (i64 tn0 = 0; tn0 < tiles_n; tn0 += kTnBlock) {
+        const i64 nb = std::min<i64>(kTnBlock, tiles_n - tn0);
+        for (i64 b = 0; b < nb; ++b) tiles[static_cast<std::size_t>(b)].reset();
+        for (const i64 tk : k_list) {
+          for (int ab = 0; ab < sa; ++ab) {
+            const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
+            detail::TileAcc::load_a(
+                apanel, pa.row_words(tm * kTileM) + tk * kTileKWords,
+                pa.k_words());
+            ++a_loads;
+            for (i64 b = 0; b < nb; ++b) {
+              for (int bb = 0; bb < sb; ++bb) {
+                const BitMatrix& pb = *bp[static_cast<std::size_t>(bb)];
+                tiles[static_cast<std::size_t>(b)].mma_preloaded(
+                    apanel,
+                    pb.col_words((tn0 + b) * kTileN) + tk * kTileKWords,
+                    pb.k_words(), ab + bb);
+              }
+            }
+          }
+        }
+        for (i64 b = 0; b < nb; ++b) {
+          acc.fill(0);
+          tiles[static_cast<std::size_t>(b)].flush(acc.data());
+          consume(tm, tn0 + b, acc);
+        }
+      }
+      auto& counters = tcsim::thread_counters();
+      const u64 kt = static_cast<u64>(k_list.size());
+      counters.bmma_ops +=
+          kt * static_cast<u64>(sa) * static_cast<u64>(sb) * static_cast<u64>(tiles_n);
+      counters.frag_loads_a += static_cast<u64>(a_loads);
+      counters.frag_loads_b +=
+          kt * static_cast<u64>(sa) * static_cast<u64>(sb) * static_cast<u64>(tiles_n);
+    });
+  }
+}
+
+/// Applies BN (optional, fp32 fold) and ReLU to one accumulator value.
+inline i32 apply_bn_relu(i32 v, i64 col, const FusedEpilogue& epi) {
+  if (epi.use_bn && col < static_cast<i64>(epi.bn_scale.size())) {
+    const float f = static_cast<float>(v) * epi.bn_scale[static_cast<std::size_t>(col)] +
+                    epi.bn_bias[static_cast<std::size_t>(col)];
+    v = static_cast<i32>(std::lround(f));
+  }
+  if (epi.relu && v < 0) v = 0;
+  return v;
+}
+
+}  // namespace
+
+MatrixI32 bitmm_to_int(const StackedBitTensor& a, const StackedBitTensor& b,
+                       const BmmOptions& opt) {
+  QGTC_CHECK(a.cols() == b.rows(), "bitmm_to_int: inner dimensions differ");
+  if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
+  MatrixI32 padded = make_padded_accumulator(a.plane(0), b.plane(0));
+  for (int ab = 0; ab < a.bits(); ++ab) {
+    for (int bb = 0; bb < b.bits(); ++bb) {
+      bmm_accumulate(a.plane(ab), b.plane(bb), padded, ab + bb, opt);
+    }
+  }
+  return slice_logical(padded, a.rows(), b.cols());
+}
+
+MatrixI32 bitmm_fused_int(const StackedBitTensor& a, const StackedBitTensor& b,
+                          const FusedEpilogue& epi, const BmmOptions& opt) {
+  QGTC_CHECK(a.cols() == b.rows(), "bitmm_fused_int: inner dimensions differ");
+  if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
+  const i64 m = a.rows(), n = b.cols();
+  MatrixI32 out(m, n, 0);
+  fused_tile_sweep(
+      plane_ptrs(a), plane_ptrs(b), opt, /*parallel_over_n=*/false,
+      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
+        for (int i = 0; i < kTileM; ++i) {
+          const i64 r = tm * kTileM + i;
+          if (r >= m) break;
+          for (int j = 0; j < kTileN; ++j) {
+            const i64 c = tn * kTileN + j;
+            if (c >= n) break;
+            out(r, c) = apply_bn_relu(acc[static_cast<std::size_t>(i * kTileN + j)], c, epi);
+          }
+        }
+      });
+  return out;
+}
+
+namespace {
+
+/// Shared implementation of the fused to-bit epilogue: requantize each tile
+/// value and scatter its bits into the output planes.
+StackedBitTensor fused_bit_output(const std::vector<const BitMatrix*>& ap,
+                                  const std::vector<const BitMatrix*>& bp,
+                                  i64 m, i64 n, int out_bits,
+                                  const FusedEpilogue& epi,
+                                  const BmmOptions& opt, PadPolicy out_pad,
+                                  BitLayout out_layout) {
+  // Build output planes directly; bit-decomposition never materialises an
+  // int32 matrix in "global memory" (§4.5).
+  StackedBitTensor out =
+      StackedBitTensor::zeros(m, n, out_bits, out_layout, out_pad);
+  const i32 qmax = static_cast<i32>((u32{1} << out_bits) - 1);
+
+  const bool parallel_over_n = (out_layout == BitLayout::kColMajorK);
+  fused_tile_sweep(
+      ap, bp, opt, parallel_over_n,
+      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
+        // Requantize the 8x8 tile, then scatter each line's 8 bits with one
+        // word RMW per plane (an 8-bit lane always sits inside one u32 word
+        // because tile extents divide the 32-bit packing).
+        std::array<i32, 64> q;
+        const i64 rows_here = std::min<i64>(kTileM, m - tm * kTileM);
+        const i64 cols_here = std::min<i64>(kTileN, n - tn * kTileN);
+        for (i64 i = 0; i < rows_here; ++i) {
+          for (i64 j = 0; j < cols_here; ++j) {
+            i32 v = apply_bn_relu(acc[static_cast<std::size_t>(i * kTileN + j)],
+                                  tn * kTileN + j, epi);
+            v >>= epi.rshift;
+            q[static_cast<std::size_t>(i * kTileN + j)] =
+                v < 0 ? 0 : (v > qmax ? qmax : v);
+          }
+        }
+        if (out_layout == BitLayout::kRowMajorK) {
+          // Line = output row; 8 column bits land in word (tn*8)/32 at
+          // offset (tn%4)*8.
+          const i64 word = (tn * kTileN) / kWordBits;
+          const int off = static_cast<int>((tn * kTileN) % kWordBits);
+          for (i64 i = 0; i < rows_here; ++i) {
+            const i32* qrow = &q[static_cast<std::size_t>(i * kTileN)];
+            for (int b = 0; b < out_bits; ++b) {
+              u32 lane = 0;
+              for (i64 j = 0; j < cols_here; ++j) {
+                lane |= static_cast<u32>((qrow[j] >> b) & 1) << j;
+              }
+              if (lane != 0) {
+                out.plane(b).row_words(tm * kTileM + i)[word] |= lane << off;
+              }
+            }
+          }
+        } else {
+          // Line = output column; 8 row bits land in word (tm*8)/32 at
+          // offset (tm%4)*8.
+          const i64 word = (tm * kTileM) / kWordBits;
+          const int off = static_cast<int>((tm * kTileM) % kWordBits);
+          for (i64 j = 0; j < cols_here; ++j) {
+            for (int b = 0; b < out_bits; ++b) {
+              u32 lane = 0;
+              for (i64 i = 0; i < rows_here; ++i) {
+                lane |= static_cast<u32>(
+                            (q[static_cast<std::size_t>(i * kTileN + j)] >> b) & 1)
+                        << i;
+              }
+              if (lane != 0) {
+                out.plane(b).col_words(tn * kTileN + j)[word] |= lane << off;
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+StackedBitTensor bitmm_fused_bit(const StackedBitTensor& a,
+                                 const StackedBitTensor& b, int out_bits,
+                                 const FusedEpilogue& epi,
+                                 const BmmOptions& opt, PadPolicy out_pad,
+                                 BitLayout out_layout) {
+  QGTC_CHECK(a.cols() == b.rows(), "bitmm_fused_bit: inner dimensions differ");
+  QGTC_CHECK(out_bits >= 1 && out_bits <= 31, "out_bits must be in [1,31]");
+  if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
+  return fused_bit_output(plane_ptrs(a), plane_ptrs(b), a.rows(), b.cols(),
+                          out_bits, epi, opt, out_pad, out_layout);
+}
+
+MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
+                         ReuseMode mode, const BmmOptions& opt) {
+  QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_1bit: dimension mismatch");
+  if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
+  if (mode == ReuseMode::kCrossBit) {
+    // Figure 6(a): one complete BMM pass per bit-plane; every non-zero A
+    // tile is re-loaded for each plane.
+    MatrixI32 padded = make_padded_accumulator(a_bin, x.plane(0));
+    for (int b = 0; b < x.bits(); ++b) {
+      bmm_accumulate(a_bin, x.plane(b), padded, b, opt);
+    }
+    return slice_logical(padded, a_bin.rows(), x.cols());
+  }
+  // Figure 6(b): cross-tile reduction via the fused sweep with a single
+  // 1-bit A plane.
+  const i64 m = a_bin.rows(), n = x.cols();
+  MatrixI32 out(m, n, 0);
+  fused_tile_sweep(
+      {&a_bin}, plane_ptrs(x), opt, /*parallel_over_n=*/false,
+      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
+        for (int i = 0; i < kTileM; ++i) {
+          const i64 r = tm * kTileM + i;
+          if (r >= m) break;
+          for (int j = 0; j < kTileN; ++j) {
+            const i64 c = tn * kTileN + j;
+            if (c >= n) break;
+            out(r, c) = acc[static_cast<std::size_t>(i * kTileN + j)];
+          }
+        }
+      });
+  return out;
+}
+
+StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,
+                                     const StackedBitTensor& x, int out_bits,
+                                     const FusedEpilogue& epi,
+                                     const BmmOptions& opt, PadPolicy out_pad) {
+  QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_fused_bit: dimension mismatch");
+  QGTC_CHECK(out_bits >= 1 && out_bits <= 31, "out_bits must be in [1,31]");
+  if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
+  return fused_bit_output({&a_bin}, plane_ptrs(x), a_bin.rows(), x.cols(),
+                          out_bits, epi, opt, out_pad, BitLayout::kRowMajorK);
+}
+
+}  // namespace qgtc

@@ -1,0 +1,49 @@
+// 1-bit BMM (bit-matrix multiplication) on the tensor-core substrate.
+// This is the "atomic" kernel every any-bitwidth operation is composed from
+// (paper §3.1, Eq. 7): C[i,j] = popcnt(rowA_i & colB_j), tiled 8x8x128.
+#pragma once
+
+#include "bittensor/bit_matrix.hpp"
+#include "kernels/zerotile.hpp"
+#include "tcsim/wmma.hpp"
+
+namespace qgtc {
+
+struct BmmOptions {
+  /// Skip all-zero 8x128 A-tiles (paper §4.3). Requires `tile_map` or pays
+  /// an inline OR+ballot test per tile.
+  bool zero_tile_jump = false;
+  /// Optional precomputed jump map (reused across layers/bit-planes since the
+  /// adjacency pattern is shared — paper §3.2's caching note).
+  const TileMap* tile_map = nullptr;
+  /// Skip the worst-case int32 bound check. High-bit settings (s or t > 8,
+  /// as in the paper's 16/32-bit runs) can exceed the bound; accumulation is
+  /// performed in unsigned arithmetic so overflow wraps (defined behaviour),
+  /// exactly like the hardware's uint32 accumulators.
+  bool allow_overflow = false;
+  /// Bitwise combine of the 1-bit MMA: kAnd for unsigned bit-composition
+  /// (the QGTC scheme), kXor for +-1 binarized networks (paper §2.3).
+  tcsim::BmmaOp op = tcsim::BmmaOp::kAnd;
+};
+
+/// C (+)= (A x B) << shift.
+///
+/// A: kRowMajorK, logical M x K. B: kColMajorK, logical K x N, same padded K.
+/// C: row-major int32, shape pad8(M) x B.padded_cols() — callers slice the
+/// logical region. `shift` implements the bit-position weighting of the
+/// composition scheme (Algorithm 1 line 17).
+void bmm_accumulate(const BitMatrix& a, const BitMatrix& b, MatrixI32& c,
+                    int shift = 0, const BmmOptions& opt = {});
+
+/// Convenience wrapper: allocates C (padded), runs bmm_accumulate once, and
+/// returns the logical M x N slice.
+MatrixI32 bmm(const BitMatrix& a, const BitMatrix& b,
+              const BmmOptions& opt = {});
+
+/// Allocates the padded accumulator for a given A/B pair.
+MatrixI32 make_padded_accumulator(const BitMatrix& a, const BitMatrix& b);
+
+/// Copies the logical M x N region out of a padded accumulator.
+MatrixI32 slice_logical(const MatrixI32& padded, i64 m, i64 n);
+
+}  // namespace qgtc

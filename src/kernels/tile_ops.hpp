@@ -1,0 +1,268 @@
+// Internal hot-loop primitives for the BMM kernels: the same 8x8x128 tile
+// semantics as tcsim::bmma_sync, but operating directly on packed storage
+// with no fragment copies, and with substrate counters updated in bulk by
+// the callers (one TLS access per row-block instead of per tile op).
+// tcsim::wmma.hpp remains the semantic reference; tests assert both paths
+// produce identical results.
+//
+// Two implementations of the tile accumulator:
+//  * AVX2: nibble-LUT popcount (vpshufb) + vpsadbw reduction — sidesteps the
+//    scalar POPCNT port bottleneck (~3-4x on this tile shape);
+//  * scalar fallback: u64 AND + std::popcount.
+// Both accumulate per-lane in u64 and truncate to u32 at flush, which makes
+// the "uint32 wrap" contract exact for every shift in [0, 63] (a value
+// shifted by >= 32 contributes 0 mod 2^32, with no UB).
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/defs.hpp"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace qgtc::detail {
+
+/// One packed 128-bit lane pair (a tile row or column) as two u64 words.
+struct Lane128 {
+  u64 w0, w1;
+};
+
+/// Loads the 4 consecutive u32 words at `p` as two u64 lanes.
+inline Lane128 load_lane(const u32* p) {
+  Lane128 l;
+  std::memcpy(&l.w0, p, 8);
+  std::memcpy(&l.w1, p + 2, 8);
+  return l;
+}
+
+/// AND + popcount over one 128-bit lane pair.
+inline i32 and_popcount(const Lane128& a, const Lane128& b) {
+  return static_cast<i32>(std::popcount(a.w0 & b.w0) +
+                          std::popcount(a.w1 & b.w1));
+}
+
+/// XOR + popcount over one 128-bit lane pair (the +-1 binary-network mode).
+inline i32 xor_popcount(const Lane128& a, const Lane128& b) {
+  return static_cast<i32>(std::popcount(a.w0 ^ b.w0) +
+                          std::popcount(a.w1 ^ b.w1));
+}
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+
+/// 8x8 tile accumulator on AVX512-VPOPCNTDQ: one 512-bit vector holds four
+/// B columns (4 x 128-bit lanes = 8 u64), so a whole A-row-vs-8-columns step
+/// is 2 x (AND + VPOPCNTQ + SLL + ADD).
+class TileAcc {
+ public:
+  /// Preloaded A tile: each of the 8 rows broadcast across the vector.
+  struct APanel {
+    __m512i av[kTileM];
+  };
+
+  static void load_a(APanel& p, const u32* a_base, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) {
+      p.av[i] = _mm512_broadcast_i32x4(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a_base + i * a_stride)));
+    }
+  }
+
+  void reset() {
+    for (auto& row : vacc_) {
+      for (auto& v : row) v = _mm512_setzero_si512();
+    }
+  }
+
+  void mma_preloaded(const APanel& a, const u32* b_base, i64 b_stride,
+                     int shift, bool use_xor = false) {
+    __m512i bc[2];
+    for (int g = 0; g < 2; ++g) {
+      __m512i v = _mm512_castsi128_si512(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b_base + (4 * g) * b_stride)));
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b_base + (4 * g + 1) * b_stride)), 1);
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b_base + (4 * g + 2) * b_stride)), 2);
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b_base + (4 * g + 3) * b_stride)), 3);
+      bc[g] = v;
+    }
+    for (int i = 0; i < kTileM; ++i) {
+      for (int g = 0; g < 2; ++g) {
+        const __m512i mixed = use_xor ? _mm512_xor_si512(a.av[i], bc[g])
+                                      : _mm512_and_si512(a.av[i], bc[g]);
+        const __m512i cnt = _mm512_popcnt_epi64(mixed);
+        vacc_[i][g] = _mm512_add_epi64(
+            vacc_[i][g], _mm512_slli_epi64(cnt, static_cast<unsigned>(shift)));
+      }
+    }
+  }
+
+  void mma(const u32* a_base, i64 a_stride, const u32* b_base, i64 b_stride,
+           int shift, bool use_xor = false) {
+    APanel p;
+    load_a(p, a_base, a_stride);
+    mma_preloaded(p, b_base, b_stride, shift, use_xor);
+  }
+
+  void flush(i32* acc64) const {
+    alignas(64) u64 tmp[8];
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = acc64 + i * kTileN;
+      for (int g = 0; g < 2; ++g) {
+        _mm512_store_si512(reinterpret_cast<__m512i*>(tmp), vacc_[i][g]);
+        for (int c = 0; c < 4; ++c) {
+          const int j = 4 * g + c;
+          row[j] = static_cast<i32>(static_cast<u32>(row[j]) +
+                                    static_cast<u32>(tmp[2 * c] + tmp[2 * c + 1]));
+        }
+      }
+    }
+  }
+
+ private:
+  __m512i vacc_[kTileM][2];
+};
+
+#elif defined(__AVX2__)
+
+/// Per-byte popcount of a 256-bit vector via the classic 4-bit LUT.
+inline __m256i popcount_bytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// 8x8 tile accumulator: one reset/flush pair brackets the whole K x
+/// bit-plane reduction of an output tile, so per-MMA work stays in vector
+/// registers.
+class TileAcc {
+ public:
+  struct APanel {
+    __m256i av[kTileM];
+  };
+
+  static void load_a(APanel& p, const u32* a_base, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) {
+      p.av[i] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a_base + i * a_stride)));
+    }
+  }
+
+  void reset() {
+    for (auto& row : vacc_) {
+      for (auto& v : row) v = _mm256_setzero_si256();
+    }
+  }
+
+  /// vacc += (A_tile x B_tile) << shift with A rows already broadcast.
+  void mma_preloaded(const APanel& a, const u32* b_base, i64 b_stride,
+                     int shift, bool use_xor = false) {
+    // Pack the 8 B columns as 4 vectors of two 128-bit lanes each.
+    __m256i bc[4];
+    for (int p = 0; p < 4; ++p) {
+      const __m128i lo = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b_base + (2 * p) * b_stride));
+      const __m128i hi = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b_base + (2 * p + 1) * b_stride));
+      bc[p] = _mm256_set_m128i(hi, lo);
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    for (int i = 0; i < kTileM; ++i) {
+      for (int p = 0; p < 4; ++p) {
+        const __m256i x = use_xor ? _mm256_xor_si256(a.av[i], bc[p])
+                                  : _mm256_and_si256(a.av[i], bc[p]);
+        // vpsadbw sums 8 popcount bytes into each of 4 u64 lanes:
+        // [col 2p bytes 0-7 | col 2p bytes 8-15 | col 2p+1 ... ].
+        const __m256i sums = _mm256_sad_epu8(popcount_bytes(x), zero);
+        vacc_[i][p] = _mm256_add_epi64(
+            vacc_[i][p], _mm256_slli_epi64(sums, shift));
+      }
+    }
+  }
+
+  void mma(const u32* a_base, i64 a_stride, const u32* b_base, i64 b_stride,
+           int shift, bool use_xor = false) {
+    APanel p;
+    load_a(p, a_base, a_stride);
+    mma_preloaded(p, b_base, b_stride, shift, use_xor);
+  }
+
+  /// acc64[8x8] (+)= vacc truncated to u32 (exact uint32-wrap contract).
+  void flush(i32* acc64) const {
+    alignas(32) u64 tmp[4];
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = acc64 + i * kTileN;
+      for (int p = 0; p < 4; ++p) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), vacc_[i][p]);
+        row[2 * p] = static_cast<i32>(static_cast<u32>(row[2 * p]) +
+                                      static_cast<u32>(tmp[0] + tmp[1]));
+        row[2 * p + 1] = static_cast<i32>(static_cast<u32>(row[2 * p + 1]) +
+                                          static_cast<u32>(tmp[2] + tmp[3]));
+      }
+    }
+  }
+
+ private:
+  __m256i vacc_[kTileM][4];
+};
+
+#else  // scalar fallback
+
+class TileAcc {
+ public:
+  struct APanel {
+    Lane128 ar[kTileM];
+  };
+
+  static void load_a(APanel& p, const u32* a_base, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) p.ar[i] = load_lane(a_base + i * a_stride);
+  }
+
+  void reset() { std::memset(vacc_, 0, sizeof(vacc_)); }
+
+  void mma_preloaded(const APanel& a, const u32* b_base, i64 b_stride,
+                     int shift, bool use_xor = false) {
+    Lane128 bc[kTileN];
+    for (int j = 0; j < kTileN; ++j) bc[j] = load_lane(b_base + j * b_stride);
+    for (int i = 0; i < kTileM; ++i) {
+      u64* row = vacc_[i];
+      for (int j = 0; j < kTileN; ++j) {
+        const i32 cnt = use_xor ? xor_popcount(a.ar[i], bc[j])
+                                : and_popcount(a.ar[i], bc[j]);
+        row[j] += static_cast<u64>(cnt) << shift;
+      }
+    }
+  }
+
+  void mma(const u32* a_base, i64 a_stride, const u32* b_base, i64 b_stride,
+           int shift, bool use_xor = false) {
+    APanel p;
+    load_a(p, a_base, a_stride);
+    mma_preloaded(p, b_base, b_stride, shift, use_xor);
+  }
+
+  void flush(i32* acc64) const {
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = acc64 + i * kTileN;
+      for (int j = 0; j < kTileN; ++j) {
+        row[j] = static_cast<i32>(static_cast<u32>(row[j]) +
+                                  static_cast<u32>(vacc_[i][j]));
+      }
+    }
+  }
+
+ private:
+  u64 vacc_[kTileM][kTileN];
+};
+
+#endif
+
+}  // namespace qgtc::detail

@@ -1,0 +1,33 @@
+#include "kernels/zerotile.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "tcsim/wmma.hpp"
+
+namespace qgtc {
+
+i64 TileMap::nonzero_tiles() const {
+  i64 n = 0;
+  for (u8 f : nonzero) n += f;
+  return n;
+}
+
+TileMap build_tile_map(const BitMatrix& a) {
+  QGTC_CHECK(a.layout() == BitLayout::kRowMajorK,
+             "tile maps are defined on the A-side (kRowMajorK) layout");
+  TileMap map;
+  map.tiles_m = a.padded_rows() / kTileM;
+  map.tiles_k = a.padded_cols() / kTileK;
+  map.nonzero.assign(static_cast<std::size_t>(map.tiles_m * map.tiles_k), 0);
+  const i64 stride = a.k_words();
+  parallel_for(0, map.tiles_m, [&](i64 tm) {
+    const u32* block = a.row_words(tm * kTileM);
+    for (i64 tk = 0; tk < map.tiles_k; ++tk) {
+      const bool zero = tcsim::tile_is_zero(block + tk * kTileKWords, stride);
+      map.nonzero[static_cast<std::size_t>(tm * map.tiles_k + tk)] =
+          zero ? 0 : 1;
+    }
+  });
+  return map;
+}
+
+}  // namespace qgtc

@@ -1,0 +1,36 @@
+// Zero-tile census and jump maps (paper §4.3). A "tile" is the 8x128 A-side
+// input of one 1-bit TC MMA. Batched subgraph adjacency matrices are mostly
+// all-zero tiles (no edges between different subgraphs of a batch, plus
+// missing intra-subgraph edges), so the BMM kernels skip them.
+#pragma once
+
+#include <vector>
+
+#include "bittensor/bit_matrix.hpp"
+
+namespace qgtc {
+
+/// Precomputed per-(rowTile, kTile) non-zero flags for a kRowMajorK matrix.
+struct TileMap {
+  i64 tiles_m = 0;  // row-tile count (padded_rows / 8)
+  i64 tiles_k = 0;  // K-tile count (padded_cols / 128)
+  std::vector<u8> nonzero;  // tiles_m * tiles_k flags
+
+  [[nodiscard]] bool is_nonzero(i64 tm, i64 tk) const {
+    return nonzero[static_cast<std::size_t>(tm * tiles_k + tk)] != 0;
+  }
+  [[nodiscard]] i64 total_tiles() const { return tiles_m * tiles_k; }
+  [[nodiscard]] i64 nonzero_tiles() const;
+  /// Fraction of tiles that must actually be processed (Figure 8's metric).
+  [[nodiscard]] double nonzero_ratio() const {
+    return total_tiles() == 0
+               ? 0.0
+               : static_cast<double>(nonzero_tiles()) /
+                     static_cast<double>(total_tiles());
+  }
+};
+
+/// Scans a packed kRowMajorK matrix with the §4.3 OR+ballot test per tile.
+TileMap build_tile_map(const BitMatrix& a);
+
+}  // namespace qgtc

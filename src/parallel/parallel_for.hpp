@@ -1,0 +1,60 @@
+// Thin OpenMP wrappers. All kernel-level parallelism in the repo goes through
+// these helpers so scheduling policy and thread-count control live in one
+// place (see /opt guides: OpenMP worksharing idioms).
+#pragma once
+
+#include <omp.h>
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+/// Number of worker threads the parallel runtime will use.
+inline int num_threads() { return omp_get_max_threads(); }
+
+/// Override the worker count (propagates to subsequent parallel regions).
+inline void set_num_threads(int n) { omp_set_num_threads(n); }
+
+/// Iteration count below which spawning a parallel region costs more than it
+/// saves; such loops run serially in the calling thread.
+inline constexpr i64 kSerialCutoff = 16;
+
+/// Statically-scheduled parallel loop over [begin, end). Use when iterations
+/// have uniform cost (dense tile sweeps). Small ranges run serially — the
+/// batched-GNN pipeline issues thousands of small kernels per epoch and
+/// region-spawn overhead would dominate (same reason GPU kernels fuse).
+template <typename Fn>
+void parallel_for(i64 begin, i64 end, Fn&& fn) {
+  if (end - begin < kSerialCutoff) {
+    for (i64 i = begin; i < end; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (i64 i = begin; i < end; ++i) fn(i);
+}
+
+/// Dynamically-scheduled parallel loop with a chunk size. Use when iteration
+/// cost is irregular (zero-tile jumping makes row-block cost data-dependent).
+template <typename Fn>
+void parallel_for_dynamic(i64 begin, i64 end, i64 chunk, Fn&& fn) {
+  if (end - begin < kSerialCutoff) {
+    for (i64 i = begin; i < end; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1)
+  for (i64 c = begin; c < end; c += chunk) {
+    const i64 hi = (c + chunk < end) ? c + chunk : end;
+    for (i64 i = c; i < hi; ++i) fn(i);
+  }
+}
+
+/// Parallel sum-reduction of fn(i) over [begin, end).
+template <typename Fn>
+double parallel_reduce_sum(i64 begin, i64 end, Fn&& fn) {
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (i64 i = begin; i < end; ++i) acc += fn(i);
+  return acc;
+}
+
+}  // namespace qgtc

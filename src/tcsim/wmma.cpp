@@ -1,0 +1,46 @@
+#include "tcsim/wmma.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace qgtc::tcsim {
+namespace {
+
+// Registry of per-thread counter blocks so snapshot_all can aggregate without
+// requiring threads to check in explicitly.
+std::mutex g_registry_mu;
+std::vector<Counters*> g_registry;
+
+struct ThreadSlot {
+  Counters counters;
+  ThreadSlot() {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    g_registry.push_back(&counters);
+  }
+  // Note: slots are intentionally leaked from the registry on thread exit;
+  // OpenMP worker threads live for the process lifetime, and keeping the
+  // pointer valid keeps snapshotting race-free and simple.
+};
+
+ThreadSlot& slot() {
+  thread_local ThreadSlot s;
+  return s;
+}
+
+}  // namespace
+
+Counters& thread_counters() { return slot().counters; }
+
+Counters snapshot_counters() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  Counters total;
+  for (const Counters* c : g_registry) total += *c;
+  return total;
+}
+
+void reset_counters() {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  for (Counters* c : g_registry) *c = Counters{};
+}
+
+}  // namespace qgtc::tcsim

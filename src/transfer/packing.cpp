@@ -1,0 +1,41 @@
+#include "transfer/packing.hpp"
+
+#include "common/timer.hpp"
+
+namespace qgtc::transfer {
+
+PackedSubgraph pack_batch(const BitMatrix& adjacency,
+                          const StackedBitTensor& embeddings,
+                          StagingBuffer& staging, const PcieModel& pcie) {
+  PackedSubgraph out;
+  out.adjacency_bytes = adjacency.bytes();
+  out.embedding_bytes = embeddings.bytes();
+  out.total_bytes = out.adjacency_bytes + out.embedding_bytes;
+  out.transfers = 1;
+
+  Timer t;
+  staging.clear();
+  staging.reserve(out.total_bytes);
+  staging.stage(adjacency.data(), adjacency.bytes());
+  for (int b = 0; b < embeddings.bits(); ++b) {
+    staging.stage(embeddings.plane(b).data(), embeddings.plane(b).bytes());
+  }
+  out.staging_seconds = t.seconds();
+  out.modeled_seconds = pcie.transfer_seconds(out.total_bytes);
+  return out;
+}
+
+PackedSubgraph dense_fp32_baseline(i64 num_nodes, i64 feature_dim,
+                                   const PcieModel& pcie) {
+  PackedSubgraph out;
+  out.adjacency_bytes = num_nodes * num_nodes * static_cast<i64>(sizeof(float));
+  out.embedding_bytes = num_nodes * feature_dim * static_cast<i64>(sizeof(float));
+  out.total_bytes = out.adjacency_bytes + out.embedding_bytes;
+  out.transfers = 2;  // adjacency and embeddings move separately (§4.6)
+  out.staging_seconds = 0.0;
+  out.modeled_seconds = pcie.transfer_seconds(out.adjacency_bytes) +
+                        pcie.transfer_seconds(out.embedding_bytes);
+  return out;
+}
+
+}  // namespace qgtc::transfer

@@ -1,0 +1,33 @@
+// Bandwidth-optimised subgraph packing (paper §4.6): instead of shipping the
+// dense fp32 adjacency and a separate fp32 embedding transfer, the packed
+// 1-bit adjacency and the low-bit embedding planes are compressed into one
+// compound memory object (the torch `register_buffer` trick) and moved in a
+// single transfer.
+#pragma once
+
+#include "bittensor/stacked.hpp"
+#include "transfer/pcie.hpp"
+
+namespace qgtc::transfer {
+
+struct PackedSubgraph {
+  i64 total_bytes = 0;
+  i64 adjacency_bytes = 0;
+  i64 embedding_bytes = 0;
+  int transfers = 1;           // the compound object moves as one transfer
+  double modeled_seconds = 0;  // PCIe model wire time
+  double staging_seconds = 0;  // measured memcpy time into the compound object
+};
+
+/// Packs a batch (binary adjacency + quantized embedding planes) into one
+/// compound staging buffer and reports byte/time accounting.
+PackedSubgraph pack_batch(const BitMatrix& adjacency,
+                          const StackedBitTensor& embeddings,
+                          StagingBuffer& staging, const PcieModel& pcie);
+
+/// Baseline accounting (paper's "basic approach"): dense fp32 adjacency plus
+/// a standalone fp32 embedding transfer (two transfers, two latencies).
+PackedSubgraph dense_fp32_baseline(i64 num_nodes, i64 feature_dim,
+                                   const PcieModel& pcie);
+
+}  // namespace qgtc::transfer

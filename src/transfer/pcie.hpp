@@ -1,0 +1,41 @@
+// PCIe transfer model (paper §4.6). There is no discrete GPU in this
+// environment, so host->device traffic is modelled explicitly: payloads are
+// staged through a contiguous buffer (a real, measured memcpy — the pinned-
+// buffer pack step) and the wire time is computed from the PCIe 4.0 x16
+// envelope the paper cites (32 GB/s) plus a fixed per-transfer latency.
+// Figure-level conclusions only depend on bytes moved and transfer count,
+// both of which are exact.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.hpp"
+
+namespace qgtc::transfer {
+
+struct PcieModel {
+  double bandwidth_gbps = 32.0;  // PCIe 4.0 x16 (paper §4.6)
+  double latency_us = 10.0;      // per-transfer initiation cost
+
+  /// Modelled wire seconds for one transfer of `bytes`.
+  [[nodiscard]] double transfer_seconds(i64 bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (bandwidth_gbps * 1e9);
+  }
+};
+
+/// A staging buffer standing in for pinned host memory. `stage()` appends a
+/// payload with a measured memcpy and returns its offset.
+class StagingBuffer {
+ public:
+  void reserve(i64 bytes) { data_.reserve(static_cast<std::size_t>(bytes)); }
+  i64 stage(const void* src, i64 bytes);
+  void clear() { data_.clear(); }
+  [[nodiscard]] i64 bytes() const { return static_cast<i64>(data_.size()); }
+  [[nodiscard]] const u8* data() const { return data_.data(); }
+
+ private:
+  AlignedVector<u8> data_;
+};
+
+}  // namespace qgtc::transfer

@@ -1,0 +1,231 @@
+// Any-bitwidth composition tests — the heart of the paper's §3 claim: an
+// s-bit x t-bit product composed from 1-bit BMMs equals the exact integer
+// product of the quantized codes, for every (s, t) pair; fused/unfused and
+// cross-bit/cross-tile variants are bit-identical.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/anybit_mm.hpp"
+
+namespace qgtc {
+namespace {
+
+MatrixI32 random_codes(Rng& rng, i64 rows, i64 cols, int bits) {
+  MatrixI32 m(rows, cols);
+  const u64 range = (u64{1} << bits);
+  for (i64 i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<i32>(rng.next_below(range));
+  }
+  return m;
+}
+
+TEST(AnyBit, CalibrateRshift) {
+  EXPECT_EQ(calibrate_rshift(0, 4), 0);
+  EXPECT_EQ(calibrate_rshift(15, 4), 0);   // fits exactly
+  EXPECT_EQ(calibrate_rshift(16, 4), 1);   // needs 5 bits
+  EXPECT_EQ(calibrate_rshift(255, 4), 4);  // 8 bits -> shift 4
+  EXPECT_EQ(calibrate_rshift(255, 8), 0);
+}
+
+TEST(AnyBit, AccumulatorBoundCheck) {
+  EXPECT_NO_THROW(check_accumulator_bounds(128, 8, 8));
+  EXPECT_THROW(check_accumulator_bounds(1 << 20, 8, 8), std::invalid_argument);
+}
+
+TEST(AnyBit, PaperEq5Example) {
+  // The 3-bit x 2-bit scalar example of Eq. 3-5, lifted to 1x1 matrices.
+  for (i32 av = 0; av < 8; ++av) {
+    for (i32 bv = 0; bv < 4; ++bv) {
+      MatrixI32 a(1, 1, av), b(1, 1, bv);
+      const auto pa = StackedBitTensor::decompose(a, 3, BitLayout::kRowMajorK);
+      const auto pb = StackedBitTensor::decompose(b, 2, BitLayout::kColMajorK);
+      const MatrixI32 c = bitmm_to_int(pa, pb);
+      EXPECT_EQ(c(0, 0), av * bv);
+    }
+  }
+}
+
+TEST(AnyBit, FusedIntMatchesUnfused) {
+  Rng rng(42);
+  const MatrixI32 a = random_codes(rng, 20, 150, 3);
+  const MatrixI32 b = random_codes(rng, 150, 12, 5);
+  const auto pa = StackedBitTensor::decompose(a, 3, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, 5, BitLayout::kColMajorK);
+  EXPECT_EQ(bitmm_fused_int(pa, pb), bitmm_to_int(pa, pb));
+}
+
+TEST(AnyBit, FusedReluEpilogue) {
+  // With BN folding producing negatives, ReLU must clamp them.
+  Rng rng(43);
+  const MatrixI32 a = random_codes(rng, 10, 130, 2);
+  const MatrixI32 b = random_codes(rng, 130, 6, 2);
+  const auto pa = StackedBitTensor::decompose(a, 2, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, 2, BitLayout::kColMajorK);
+  FusedEpilogue epi;
+  epi.use_bn = true;
+  epi.relu = true;
+  epi.bn_scale.assign(6, 1.0f);
+  epi.bn_bias.assign(6, -50.0f);  // push small accumulators negative
+  const MatrixI32 c = bitmm_fused_int(pa, pb, epi);
+  const MatrixI32 raw = bitmm_to_int(pa, pb);
+  for (i64 i = 0; i < c.rows(); ++i) {
+    for (i64 j = 0; j < c.cols(); ++j) {
+      const i32 expect = std::max(0, raw(i, j) - 50);
+      EXPECT_EQ(c(i, j), expect);
+    }
+  }
+}
+
+TEST(AnyBit, FusedBitMatchesManualRequant) {
+  Rng rng(44);
+  const int s = 3, t = 2, out_bits = 4;
+  const MatrixI32 a = random_codes(rng, 17, 140, s);
+  const MatrixI32 b = random_codes(rng, 140, 9, t);
+  const auto pa = StackedBitTensor::decompose(a, s, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, t, BitLayout::kColMajorK);
+
+  const MatrixI32 raw = bitmm_to_int(pa, pb);
+  i32 mx = 0;
+  for (i64 i = 0; i < raw.size(); ++i) mx = std::max(mx, raw.data()[i]);
+  FusedEpilogue epi;
+  epi.rshift = calibrate_rshift(mx, out_bits);
+
+  const StackedBitTensor out =
+      bitmm_fused_bit(pa, pb, out_bits, epi, {}, PadPolicy::kTile8);
+  const MatrixI32 got = out.compose();
+  const i32 qmax = (1 << out_bits) - 1;
+  for (i64 i = 0; i < raw.rows(); ++i) {
+    for (i64 j = 0; j < raw.cols(); ++j) {
+      EXPECT_EQ(got(i, j), std::min(raw(i, j) >> epi.rshift, qmax));
+    }
+  }
+}
+
+TEST(AnyBit, FusedBitColMajorOutput) {
+  // GIN needs the update result laid out as the next B operand; values must
+  // be identical regardless of the output layout.
+  Rng rng(45);
+  const MatrixI32 a = random_codes(rng, 11, 135, 2);
+  const MatrixI32 b = random_codes(rng, 135, 7, 2);
+  const auto pa = StackedBitTensor::decompose(a, 2, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, 2, BitLayout::kColMajorK);
+  FusedEpilogue epi;
+  epi.rshift = 6;
+  const auto row_out = bitmm_fused_bit(pa, pb, 4, epi, {}, PadPolicy::kTile8,
+                                       BitLayout::kRowMajorK);
+  const auto col_out = bitmm_fused_bit(pa, pb, 4, epi, {}, PadPolicy::kTile8,
+                                       BitLayout::kColMajorK);
+  EXPECT_EQ(row_out.compose(), col_out.compose());
+  EXPECT_EQ(col_out.plane(0).layout(), BitLayout::kColMajorK);
+}
+
+TEST(AnyBit, AggregationModesIdentical) {
+  Rng rng(46);
+  // Binary adjacency with zero blocks, multi-bit features.
+  MatrixI32 adj(40, 40, 0);
+  for (i64 i = 0; i < 40; ++i) {
+    for (i64 j = 0; j < 40; ++j) {
+      if ((i / 8 + j / 8) % 2 == 0) adj(i, j) = rng.next_bool(0.3f) ? 1 : 0;
+    }
+  }
+  const MatrixI32 x = random_codes(rng, 40, 24, 4);
+  const BitMatrix pa = pack_nonzero(adj, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, 4, BitLayout::kColMajorK);
+
+  BmmOptions jump;
+  jump.zero_tile_jump = true;
+  const MatrixI32 cross_bit = aggregate_1bit(pa, px, ReuseMode::kCrossBit, jump);
+  const MatrixI32 cross_tile = aggregate_1bit(pa, px, ReuseMode::kCrossTile, jump);
+  EXPECT_EQ(cross_bit, cross_tile);
+  EXPECT_EQ(cross_bit, matmul_reference(adj, x));
+}
+
+TEST(AnyBit, CrossTileReusesFragments) {
+  // The §4.4 claim: cross-tile reduction loads each non-zero A tile O(1)
+  // times vs O(bits) for cross-bit.
+  Rng rng(47);
+  MatrixI32 adj(64, 256, 1);  // all-ones => all tiles non-zero
+  const MatrixI32 x = random_codes(rng, 256, 64, 8);
+  const BitMatrix pa = pack_nonzero(adj, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, 8, BitLayout::kColMajorK);
+
+  tcsim::reset_counters();
+  (void)aggregate_1bit(pa, px, ReuseMode::kCrossBit);
+  const u64 loads_cross_bit = tcsim::snapshot_counters().frag_loads_a;
+
+  tcsim::reset_counters();
+  (void)aggregate_1bit(pa, px, ReuseMode::kCrossTile);
+  const u64 loads_cross_tile = tcsim::snapshot_counters().frag_loads_a;
+
+  EXPECT_EQ(loads_cross_bit, 8 * loads_cross_tile);
+}
+
+TEST(AnyBit, AggregateFusedBitMatchesManual) {
+  Rng rng(48);
+  MatrixI32 adj(24, 24, 0);
+  for (i64 i = 0; i < adj.size(); ++i) adj.data()[i] = rng.next_bool(0.4f) ? 1 : 0;
+  const MatrixI32 x = random_codes(rng, 24, 16, 3);
+  const BitMatrix pa = pack_nonzero(adj, BitLayout::kRowMajorK);
+  const auto px = StackedBitTensor::decompose(x, 3, BitLayout::kColMajorK);
+
+  const MatrixI32 raw = matmul_reference(adj, x);
+  i32 mx = 0;
+  for (i64 i = 0; i < raw.size(); ++i) mx = std::max(mx, raw.data()[i]);
+  FusedEpilogue epi;
+  epi.rshift = calibrate_rshift(mx, 3);
+  const auto out = aggregate_fused_bit(pa, px, 3, epi);
+  const MatrixI32 got = out.compose();
+  for (i64 i = 0; i < raw.rows(); ++i) {
+    for (i64 j = 0; j < raw.cols(); ++j) {
+      EXPECT_EQ(got(i, j), std::min(raw(i, j) >> epi.rshift, 7));
+    }
+  }
+}
+
+TEST(AnyBit, DimensionMismatchThrows) {
+  MatrixI32 a(4, 100, 1), b(90, 4, 1);
+  const auto pa = StackedBitTensor::decompose(a, 2, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, 2, BitLayout::kColMajorK);
+  EXPECT_THROW(bitmm_to_int(pa, pb), std::invalid_argument);
+}
+
+TEST(AnyBit, OverflowGuardAndOptOut) {
+  MatrixI32 a(1, 1 << 20, 255), b(1 << 20, 1, 255);
+  const auto pa = StackedBitTensor::decompose(a, 8, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, 8, BitLayout::kColMajorK);
+  EXPECT_THROW(bitmm_to_int(pa, pb), std::invalid_argument);
+  BmmOptions opt;
+  opt.allow_overflow = true;
+  EXPECT_NO_THROW(bitmm_to_int(pa, pb, opt));
+}
+
+/// THE core property (paper §3.1): for random (s, t) bit pairs, the composed
+/// product equals the exact integer GEMM of the quantized codes.
+class AnyBitComposition
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AnyBitComposition, MatchesIntegerReference) {
+  const auto [s, t] = GetParam();
+  Rng rng(static_cast<u64>(s * 100 + t));
+  const i64 m = rng.next_in(1, 40);
+  const i64 k = rng.next_in(1, 260);
+  const i64 n = rng.next_in(1, 30);
+  const MatrixI32 a = random_codes(rng, m, k, s);
+  const MatrixI32 b = random_codes(rng, k, n, t);
+  const auto pa = StackedBitTensor::decompose(a, s, BitLayout::kRowMajorK);
+  const auto pb = StackedBitTensor::decompose(b, t, BitLayout::kColMajorK);
+  const MatrixI32 expect = matmul_reference(a, b);
+  EXPECT_EQ(bitmm_to_int(pa, pb), expect);
+  EXPECT_EQ(bitmm_fused_int(pa, pb), expect);
+  BmmOptions jump;
+  jump.zero_tile_jump = true;
+  EXPECT_EQ(bitmm_fused_int(pa, pb, {}, jump), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitPairs, AnyBitComposition,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(1, 2, 3, 4, 6, 8)));
+
+}  // namespace
+}  // namespace qgtc

@@ -1,0 +1,117 @@
+// Binarized (+-1) GNN tests: XOR GEMM identity, degree-corrected
+// aggregation, and full-model parity against the naive reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gnn/binary_gnn.hpp"
+#include "graph/generator.hpp"
+
+namespace qgtc::gnn {
+namespace {
+
+MatrixI32 random_pm1(u64 seed, i64 rows, i64 cols) {
+  Rng rng(seed);
+  MatrixI32 m(rows, cols);
+  for (i64 i = 0; i < m.size(); ++i) m.data()[i] = rng.next_bool(0.5f) ? 1 : -1;
+  return m;
+}
+
+TEST(BinaryGnn, SignPm1) {
+  MatrixI32 m(1, 4);
+  m(0, 0) = -3;
+  m(0, 1) = 0;
+  m(0, 2) = 7;
+  m(0, 3) = -1;
+  const MatrixI32 s = sign_pm1(m);
+  EXPECT_EQ(s(0, 0), -1);
+  EXPECT_EQ(s(0, 1), 1);  // >= 0 maps to +1
+  EXPECT_EQ(s(0, 2), 1);
+  EXPECT_EQ(s(0, 3), -1);
+}
+
+TEST(BinaryGnn, PackPm1RejectsOtherValues) {
+  MatrixI32 m(1, 1, 0);
+  EXPECT_THROW(pack_pm1(m, BitLayout::kRowMajorK), std::invalid_argument);
+}
+
+TEST(BinaryGnn, XnorMmMatchesReference) {
+  for (u64 seed = 0; seed < 4; ++seed) {
+    const MatrixI32 a = random_pm1(seed, 11, 150);
+    const MatrixI32 b = random_pm1(seed + 50, 150, 9);
+    const BitMatrix pa = pack_pm1(a, BitLayout::kRowMajorK);
+    const BitMatrix pb = pack_pm1(b, BitLayout::kColMajorK);
+    EXPECT_EQ(xnor_mm_pm1(pa, pb, 150), matmul_reference(a, b)) << seed;
+  }
+}
+
+TEST(BinaryGnn, RowDegrees) {
+  MatrixI32 adj(3, 200, 0);
+  adj(0, 5) = 1;
+  adj(0, 150) = 1;
+  adj(2, 0) = 1;
+  const BitMatrix p = pack_nonzero(adj, BitLayout::kRowMajorK);
+  const auto deg = adjacency_row_degrees(p);
+  EXPECT_EQ(deg[0], 2);
+  EXPECT_EQ(deg[1], 0);
+  EXPECT_EQ(deg[2], 1);
+}
+
+TEST(BinaryGnn, AggregateMatchesReference) {
+  Rng rng(77);
+  MatrixI32 adj(40, 40, 0);
+  for (i64 i = 0; i < adj.size(); ++i) adj.data()[i] = rng.next_bool(0.25f) ? 1 : 0;
+  const MatrixI32 x = random_pm1(78, 40, 12);
+  const BitMatrix pa = pack_nonzero(adj, BitLayout::kRowMajorK);
+  const BitMatrix px = pack_pm1(x, BitLayout::kColMajorK);
+  const auto deg = adjacency_row_degrees(pa);
+  const MatrixI32 got = binary_aggregate(pa, px, deg);
+  EXPECT_EQ(got, matmul_reference(adj, x));
+}
+
+TEST(BinaryGnn, ModelMatchesNaiveReference) {
+  DatasetSpec spec{"bin", 300, 1800, 16, 4, 4, 13};
+  const Dataset ds = generate_dataset(spec);
+  const PartitionResult parts = partition_graph(ds.graph, 4);
+  const auto batches = make_batches(parts, 4);
+  const BitMatrix adj = build_batch_adjacency(ds.graph, batches[0]);
+  const MatrixF feats = gather_rows(ds.features, batches[0].nodes);
+
+  GnnConfig cfg;
+  cfg.num_layers = 3;
+  cfg.in_dim = 16;
+  cfg.hidden_dim = 8;
+  cfg.out_dim = 4;
+  const BinaryGnnModel model = BinaryGnnModel::create(cfg, 5);
+  EXPECT_EQ(model.forward(adj, feats), model.forward_reference(adj, feats));
+}
+
+TEST(BinaryGnn, ModelOutputShape) {
+  DatasetSpec spec{"bin", 200, 1200, 8, 3, 4, 17};
+  const Dataset ds = generate_dataset(spec);
+  const PartitionResult parts = partition_graph(ds.graph, 2);
+  const auto batches = make_batches(parts, 2);
+  const BitMatrix adj = build_batch_adjacency(ds.graph, batches[0]);
+  const MatrixF feats = gather_rows(ds.features, batches[0].nodes);
+  GnnConfig cfg;
+  cfg.num_layers = 2;
+  cfg.in_dim = 8;
+  cfg.hidden_dim = 8;
+  cfg.out_dim = 3;
+  const BinaryGnnModel model = BinaryGnnModel::create(cfg, 6);
+  const MatrixI32 out = model.forward(adj, feats);
+  EXPECT_EQ(out.rows(), adj.rows());
+  EXPECT_EQ(out.cols(), 3);
+}
+
+TEST(BinaryGnn, XorJumpIncompatibilityEnforced) {
+  const BitMatrix a(8, 128, BitLayout::kRowMajorK);
+  const BitMatrix b(128, 8, BitLayout::kColMajorK);
+  MatrixI32 c = make_padded_accumulator(a, b);
+  BmmOptions opt;
+  opt.op = tcsim::BmmaOp::kXor;
+  opt.zero_tile_jump = true;
+  EXPECT_THROW(bmm_accumulate(a, b, c, 0, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qgtc::gnn

@@ -1,0 +1,159 @@
+// Unit tests for common utilities: padding math, Matrix, RNG, env config.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/defs.hpp"
+#include "common/env.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace qgtc {
+namespace {
+
+TEST(Defs, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+  EXPECT_EQ(round_up(127, 128), 128);
+  EXPECT_EQ(round_up(129, 128), 256);
+}
+
+TEST(Defs, PadHelpers) {
+  EXPECT_EQ(pad8(3), 8);
+  EXPECT_EQ(pad8(16), 16);
+  EXPECT_EQ(pad128(1), 128);
+  EXPECT_EQ(pad128(128), 128);
+  EXPECT_EQ(pad128(200), 256);
+}
+
+TEST(Defs, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(Defs, TileConstantsMatchPaper) {
+  // 1-bit TC GEMM requires M = N = 8, K = 128 (paper §2.3).
+  EXPECT_EQ(kTileM, 8);
+  EXPECT_EQ(kTileN, 8);
+  EXPECT_EQ(kTileK, 128);
+  EXPECT_EQ(kTileKWords, 4);
+}
+
+TEST(Defs, CheckMacroThrows) {
+  EXPECT_THROW(QGTC_CHECK(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(QGTC_CHECK(true, "fine"));
+}
+
+TEST(Matrix, BasicAccess) {
+  MatrixI32 m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_EQ(m(2, 3), 7);
+  m(1, 2) = 42;
+  EXPECT_EQ(m.at(1, 2), 42);
+  EXPECT_EQ(m.row(1)[2], 42);
+}
+
+TEST(Matrix, Equality) {
+  MatrixI32 a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, NegativeDimensionThrows) {
+  EXPECT_THROW(MatrixF(-1, 2), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulReferenceInt) {
+  MatrixI32 a(2, 3);
+  MatrixI32 b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  i32 av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const MatrixI32 c = matmul_reference(a, b);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, MatmulReferenceShapeMismatchThrows) {
+  MatrixI32 a(2, 3), b(4, 2);
+  EXPECT_THROW(matmul_reference(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  MatrixF a(2, 2, 1.0f), b(2, 2, 1.5f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, FloatRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = r.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, NextInBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(77);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float g = r.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Env, IntFallback) {
+  ::unsetenv("QGTC_TEST_ENV_INT");
+  EXPECT_EQ(env_i64("QGTC_TEST_ENV_INT", 42), 42);
+  ::setenv("QGTC_TEST_ENV_INT", "17", 1);
+  EXPECT_EQ(env_i64("QGTC_TEST_ENV_INT", 42), 17);
+  ::setenv("QGTC_TEST_ENV_INT", "garbage", 1);
+  EXPECT_EQ(env_i64("QGTC_TEST_ENV_INT", 42), 42);
+}
+
+TEST(Env, Flag) {
+  ::unsetenv("QGTC_TEST_ENV_FLAG");
+  EXPECT_FALSE(env_flag("QGTC_TEST_ENV_FLAG"));
+  ::setenv("QGTC_TEST_ENV_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("QGTC_TEST_ENV_FLAG"));
+  ::setenv("QGTC_TEST_ENV_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("QGTC_TEST_ENV_FLAG"));
+}
+
+}  // namespace
+}  // namespace qgtc

@@ -1,0 +1,225 @@
+// GNN model tests: shapes, calibration, fused/unfused parity over the full
+// forward pass, reuse-mode parity, determinism, GCN vs GIN wiring, and
+// directional agreement between the quantized and fp32 paths at high bits.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gnn/model.hpp"
+#include "graph/generator.hpp"
+
+namespace qgtc::gnn {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  BitMatrix adj;
+  CsrGraph local;
+  MatrixF feats;
+
+  explicit Fixture(i64 nodes = 300) {
+    DatasetSpec spec{"t", nodes, nodes * 6, 16, 4, 4, 9};
+    ds = generate_dataset(spec);
+    PartitionResult parts = partition_graph(ds.graph, 4);
+    auto batches = make_batches(parts, 4);  // single batch, whole graph
+    adj = build_batch_adjacency(ds.graph, batches[0]);
+    local = build_batch_csr(ds.graph, batches[0]);
+    feats = gather_rows(ds.features, batches[0].nodes);
+  }
+
+  GnnConfig config(ModelKind kind, int bits) const {
+    GnnConfig cfg;
+    cfg.kind = kind;
+    cfg.num_layers = 3;
+    cfg.in_dim = 16;
+    cfg.hidden_dim = kind == ModelKind::kClusterGCN ? 16 : 64;
+    cfg.out_dim = 4;
+    cfg.feat_bits = bits;
+    cfg.weight_bits = bits;
+    return cfg;
+  }
+};
+
+TEST(Layers, InitWeightsShapes) {
+  GnnConfig cfg;
+  cfg.num_layers = 3;
+  cfg.in_dim = 10;
+  cfg.hidden_dim = 8;
+  cfg.out_dim = 5;
+  const auto ws = init_weights(cfg, 1);
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[0].w.rows(), 10);
+  EXPECT_EQ(ws[0].w.cols(), 8);
+  EXPECT_EQ(ws[1].w.rows(), 8);
+  EXPECT_EQ(ws[1].w.cols(), 8);
+  EXPECT_EQ(ws[2].w.rows(), 8);
+  EXPECT_EQ(ws[2].w.cols(), 5);
+}
+
+TEST(Layers, LayerDimsHelper) {
+  GnnConfig cfg;
+  cfg.num_layers = 2;
+  cfg.in_dim = 7;
+  cfg.hidden_dim = 3;
+  cfg.out_dim = 2;
+  EXPECT_EQ(cfg.layer_in(0), 7);
+  EXPECT_EQ(cfg.layer_out(0), 3);
+  EXPECT_EQ(cfg.layer_in(1), 3);
+  EXPECT_EQ(cfg.layer_out(1), 2);
+}
+
+TEST(Model, ForwardShapes) {
+  Fixture f;
+  for (const auto kind : {ModelKind::kClusterGCN, ModelKind::kBatchedGIN}) {
+    QgtcModel m = QgtcModel::create(f.config(kind, 4), 11);
+    m.calibrate(f.adj, f.feats);
+    const MatrixI32 logits = m.forward_quantized(f.adj, f.feats);
+    EXPECT_EQ(logits.rows(), f.adj.rows());
+    EXPECT_EQ(logits.cols(), 4);
+    const MatrixF ref = m.forward_fp32(f.local, f.feats);
+    EXPECT_EQ(ref.rows(), f.adj.rows());
+    EXPECT_EQ(ref.cols(), 4);
+  }
+}
+
+TEST(Model, FusedMatchesUnfused) {
+  Fixture f;
+  for (const auto kind : {ModelKind::kClusterGCN, ModelKind::kBatchedGIN}) {
+    GnnConfig fused_cfg = f.config(kind, 4);
+    fused_cfg.fused_epilogue = true;
+    GnnConfig unfused_cfg = fused_cfg;
+    unfused_cfg.fused_epilogue = false;
+
+    QgtcModel fused = QgtcModel::create(fused_cfg, 13);
+    QgtcModel unfused = QgtcModel::create(unfused_cfg, 13);
+    fused.calibrate(f.adj, f.feats);
+    unfused.calibrate(f.adj, f.feats);
+    EXPECT_EQ(fused.forward_quantized(f.adj, f.feats),
+              unfused.forward_quantized(f.adj, f.feats))
+        << model_name(kind);
+  }
+}
+
+TEST(Model, ReuseModesIdentical) {
+  Fixture f;
+  GnnConfig a_cfg = f.config(ModelKind::kClusterGCN, 3);
+  a_cfg.reuse = ReuseMode::kCrossBit;
+  a_cfg.fused_epilogue = false;
+  GnnConfig b_cfg = a_cfg;
+  b_cfg.reuse = ReuseMode::kCrossTile;
+  QgtcModel ma = QgtcModel::create(a_cfg, 17);
+  QgtcModel mb = QgtcModel::create(b_cfg, 17);
+  ma.calibrate(f.adj, f.feats);
+  mb.calibrate(f.adj, f.feats);
+  EXPECT_EQ(ma.forward_quantized(f.adj, f.feats),
+            mb.forward_quantized(f.adj, f.feats));
+}
+
+TEST(Model, ZeroTileJumpIdentical) {
+  Fixture f;
+  GnnConfig on_cfg = f.config(ModelKind::kBatchedGIN, 4);
+  on_cfg.zero_tile_jump = true;
+  GnnConfig off_cfg = on_cfg;
+  off_cfg.zero_tile_jump = false;
+  QgtcModel on = QgtcModel::create(on_cfg, 19);
+  QgtcModel off = QgtcModel::create(off_cfg, 19);
+  on.calibrate(f.adj, f.feats);
+  off.calibrate(f.adj, f.feats);
+
+  ForwardStats s_on, s_off;
+  EXPECT_EQ(on.forward_quantized(f.adj, f.feats, &s_on),
+            off.forward_quantized(f.adj, f.feats, &s_off));
+  EXPECT_GT(s_on.tiles_jumped, 0);
+  EXPECT_EQ(s_off.tiles_jumped, 0);
+  EXPECT_LT(s_on.bmma_ops, s_off.bmma_ops);
+}
+
+TEST(Model, Deterministic) {
+  Fixture f;
+  QgtcModel m = QgtcModel::create(f.config(ModelKind::kClusterGCN, 2), 23);
+  m.calibrate(f.adj, f.feats);
+  EXPECT_EQ(m.forward_quantized(f.adj, f.feats),
+            m.forward_quantized(f.adj, f.feats));
+}
+
+TEST(Model, HighBitTracksFp32Ranking) {
+  // At 8 bits the quantized argmax should agree with fp32 on a solid
+  // majority of nodes (quantization is sign/ranking-preserving in the bulk).
+  Fixture f;
+  QgtcModel m = QgtcModel::create(f.config(ModelKind::kClusterGCN, 8), 29);
+  m.calibrate(f.adj, f.feats);
+  const MatrixI32 q = m.forward_quantized(f.adj, f.feats);
+  const MatrixF r = m.forward_fp32(f.local, f.feats);
+  i64 agree = 0;
+  for (i64 u = 0; u < q.rows(); ++u) {
+    i64 qa = 0, ra = 0;
+    for (i64 c = 1; c < q.cols(); ++c) {
+      if (q(u, c) > q(u, qa)) qa = c;
+      if (r(u, c) > r(u, ra)) ra = c;
+    }
+    agree += (qa == ra);
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(q.rows()), 0.6);
+}
+
+TEST(Model, HighBitsRunWithOverflowOptIn) {
+  // 16-bit configuration (paper Figure 7 runs it) must execute without
+  // throwing; overflow is defined-wrap.
+  Fixture f;
+  QgtcModel m = QgtcModel::create(f.config(ModelKind::kClusterGCN, 16), 31);
+  m.calibrate(f.adj, f.feats);
+  const MatrixI32 logits = m.forward_quantized(f.adj, f.feats);
+  EXPECT_EQ(logits.cols(), 4);
+}
+
+TEST(Model, GinMlpUpdateRuns) {
+  Fixture f;
+  GnnConfig cfg = f.config(ModelKind::kBatchedGIN, 4);
+  cfg.gin_mlp = true;
+  QgtcModel m = QgtcModel::create(cfg, 37);
+  m.calibrate(f.adj, f.feats);
+  const MatrixI32 logits = m.forward_quantized(f.adj, f.feats);
+  EXPECT_EQ(logits.rows(), f.adj.rows());
+  EXPECT_EQ(logits.cols(), 4);
+  const MatrixF ref = m.forward_fp32(f.local, f.feats);
+  EXPECT_EQ(ref.cols(), 4);
+}
+
+TEST(Model, GinMlpFusedMatchesUnfused) {
+  Fixture f;
+  GnnConfig fused_cfg = f.config(ModelKind::kBatchedGIN, 3);
+  fused_cfg.gin_mlp = true;
+  GnnConfig unfused_cfg = fused_cfg;
+  unfused_cfg.fused_epilogue = false;
+  QgtcModel fused = QgtcModel::create(fused_cfg, 41);
+  QgtcModel unfused = QgtcModel::create(unfused_cfg, 41);
+  fused.calibrate(f.adj, f.feats);
+  unfused.calibrate(f.adj, f.feats);
+  EXPECT_EQ(fused.forward_quantized(f.adj, f.feats),
+            unfused.forward_quantized(f.adj, f.feats));
+}
+
+TEST(Model, GinMlpWeightShapes) {
+  GnnConfig cfg;
+  cfg.num_layers = 2;
+  cfg.in_dim = 10;
+  cfg.hidden_dim = 6;
+  cfg.out_dim = 3;
+  cfg.gin_mlp = true;
+  const auto ws = init_weights(cfg, 1);
+  EXPECT_EQ(ws[0].w2.rows(), 6);
+  EXPECT_EQ(ws[0].w2.cols(), 6);
+  EXPECT_EQ(ws[1].w2.rows(), 3);
+  EXPECT_EQ(ws[1].w2.cols(), 3);
+}
+
+TEST(Model, WeightCountMismatchThrows) {
+  Fixture f;
+  GnnConfig cfg = f.config(ModelKind::kClusterGCN, 4);
+  auto ws = init_weights(cfg, 1);
+  ws.pop_back();
+  EXPECT_THROW(QgtcModel::from_weights(cfg, std::move(ws)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qgtc::gnn

@@ -1,0 +1,149 @@
+// CSR graph + dataset generator tests.
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generator.hpp"
+
+namespace qgtc {
+namespace {
+
+TEST(Csr, FromEdgesBasic) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 6);  // symmetrised
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Csr, DropsSelfLoopsAndDuplicates) {
+  const CsrGraph g =
+      CsrGraph::from_edges(3, {{0, 0}, {0, 1}, {0, 1}, {1, 0}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 2);  // just 0<->1
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Csr, NeighborsSorted) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto n = g.neighbors(0);
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Csr, AsymmetricOption) {
+  const CsrGraph g =
+      CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, /*symmetrize=*/false);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Csr, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Generator, Table1Inventory) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "Proteins");
+  EXPECT_EQ(specs[0].num_nodes, 43471);
+  EXPECT_EQ(specs[0].feature_dim, 29);
+  EXPECT_EQ(specs[0].num_classes, 2);
+  EXPECT_EQ(specs[4].name, "ogbn-arxiv");
+  EXPECT_EQ(specs[4].num_nodes, 169343);
+  // Products scaled by default.
+  EXPECT_EQ(specs[5].name, "ogbn-products");
+  EXPECT_LT(specs[5].num_nodes, 2449029);
+  const auto full = table1_specs(1.0);
+  EXPECT_EQ(full[5].num_nodes, 2449029);
+}
+
+TEST(Generator, LookupByName) {
+  EXPECT_EQ(table1_spec("PPI").num_classes, 121);
+  EXPECT_THROW(table1_spec("nope"), std::invalid_argument);
+}
+
+TEST(Generator, SbmGraphShape) {
+  DatasetSpec spec{"tiny", 1000, 5000, 16, 4, 10, 3};
+  const CsrGraph g = generate_sbm_graph(spec);
+  EXPECT_EQ(g.num_nodes(), 1000);
+  // Dedup + self-loop removal shrinks the count a little; symmetrisation
+  // doubles directed storage.
+  EXPECT_GT(g.num_edges(), 2 * 5000 * 0.7);
+  EXPECT_LE(g.num_edges(), 2 * 5000);
+}
+
+TEST(Generator, SbmIsClustered) {
+  // Planted structure: intra-cluster edges dominate (~85 % target) vs the
+  // ~1/k expectation for a random graph.
+  DatasetSpec spec{"tiny", 2000, 20000, 16, 4, 20, 5};
+  const CsrGraph g = generate_sbm_graph(spec);
+  const i64 cluster_size = ceil_div(spec.num_nodes, spec.num_clusters);
+  i64 intra = 0;
+  for (i64 u = 0; u < g.num_nodes(); ++u) {
+    for (const i32 v : g.neighbors(u)) {
+      intra += (u / cluster_size == v / cluster_size);
+    }
+  }
+  const double frac = static_cast<double>(intra) / static_cast<double>(g.num_edges());
+  EXPECT_GT(frac, 0.7);
+}
+
+TEST(Generator, NonDivisibleClusterSizes) {
+  // Regression: cluster count not dividing node count used to index past n
+  // (the ogbn-arxiv/products shapes). 169343 % 768 != 0 in miniature.
+  DatasetSpec spec{"odd", 1693, 11662, 8, 4, 77, 5};
+  const CsrGraph g = generate_sbm_graph(spec);
+  EXPECT_EQ(g.num_nodes(), 1693);
+  for (i64 u = 0; u < g.num_nodes(); ++u) {
+    for (const i32 v : g.neighbors(u)) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 1693);
+    }
+  }
+}
+
+TEST(Generator, Deterministic) {
+  DatasetSpec spec{"tiny", 500, 2000, 8, 3, 5, 11};
+  const CsrGraph a = generate_sbm_graph(spec);
+  const CsrGraph b = generate_sbm_graph(spec);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+}
+
+TEST(Generator, DatasetFeaturesAndLabels) {
+  DatasetSpec spec{"tiny", 600, 3000, 12, 5, 6, 21};
+  const Dataset ds = generate_dataset(spec);
+  EXPECT_EQ(ds.features.rows(), 600);
+  EXPECT_EQ(ds.features.cols(), 12);
+  EXPECT_EQ(ds.labels.size(), 600u);
+  for (const i32 l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+  // Features must carry cluster signal: same-cluster nodes are closer than
+  // cross-cluster on average.
+  const i64 cs = ceil_div(spec.num_nodes, spec.num_clusters);
+  auto dist = [&](i64 a, i64 b) {
+    float d = 0;
+    for (i64 j = 0; j < 12; ++j) {
+      const float diff = ds.features(a, j) - ds.features(b, j);
+      d += diff * diff;
+    }
+    return d;
+  };
+  double same = 0, cross = 0;
+  int n_same = 0, n_cross = 0;
+  for (i64 u = 0; u < 200; u += 2) {
+    same += dist(u, u + 1);  // consecutive nodes share a cluster (cs >= 100)
+    ++n_same;
+    cross += dist(u, u + cs);
+    ++n_cross;
+  }
+  EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+}  // namespace
+}  // namespace qgtc

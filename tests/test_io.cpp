@@ -1,0 +1,87 @@
+// Graph/dataset serialization tests: edge-list text round-trip, binary
+// dataset round-trip, and failure injection (bad magic, truncation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+
+namespace qgtc::io {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const CsrGraph back = read_edge_list(ss, 5);
+  EXPECT_EQ(back.num_nodes(), 5);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (i64 u = 0; u < 5; ++u) {
+    for (const i32 v : g.neighbors(u)) EXPECT_TRUE(back.has_edge(u, v));
+  }
+}
+
+TEST(Io, EdgeListInfersNodeCount) {
+  std::stringstream ss("0 1\n2 7\n");
+  const CsrGraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 8);
+}
+
+TEST(Io, EdgeListSkipsComments) {
+  std::stringstream ss("# header\n0 1\n\n# mid\n1 2\n");
+  const CsrGraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(Io, EdgeListMalformedThrows) {
+  std::stringstream ss("0 one\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(Io, DatasetRoundTrip) {
+  DatasetSpec spec{"io-test", 400, 2400, 12, 5, 4, 99};
+  const Dataset ds = generate_dataset(spec);
+  std::stringstream ss;
+  save_dataset(ss, ds);
+  const Dataset back = load_dataset(ss);
+
+  EXPECT_EQ(back.spec.name, "io-test");
+  EXPECT_EQ(back.spec.num_nodes, 400);
+  EXPECT_EQ(back.spec.seed, 99u);
+  EXPECT_EQ(back.graph.num_edges(), ds.graph.num_edges());
+  EXPECT_EQ(back.graph.col_idx(), ds.graph.col_idx());
+  ASSERT_EQ(back.features.rows(), ds.features.rows());
+  ASSERT_EQ(back.features.cols(), ds.features.cols());
+  EXPECT_FLOAT_EQ(max_abs_diff(back.features, ds.features), 0.0f);
+  EXPECT_EQ(back.labels, ds.labels);
+}
+
+TEST(Io, BadMagicThrows) {
+  std::stringstream ss("definitely not a dataset");
+  EXPECT_THROW(load_dataset(ss), std::invalid_argument);
+}
+
+TEST(Io, TruncatedStreamThrows) {
+  DatasetSpec spec{"t", 100, 400, 4, 2, 2, 1};
+  const Dataset ds = generate_dataset(spec);
+  std::stringstream ss;
+  save_dataset(ss, ds);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_dataset(cut), std::invalid_argument);
+}
+
+TEST(Io, FileRoundTrip) {
+  DatasetSpec spec{"file-test", 150, 600, 6, 3, 3, 7};
+  const Dataset ds = generate_dataset(spec);
+  const std::string path = "/tmp/qgtc_io_test.bin";
+  save_dataset_file(path, ds);
+  const Dataset back = load_dataset_file(path);
+  EXPECT_EQ(back.spec.num_nodes, 150);
+  EXPECT_EQ(back.labels, ds.labels);
+  EXPECT_THROW(load_dataset_file("/tmp/qgtc_does_not_exist.bin"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qgtc::io

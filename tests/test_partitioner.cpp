@@ -1,0 +1,124 @@
+// Partitioner invariants (METIS substitute): full coverage, disjointness,
+// balance, and modularity better than random.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "graph/partitioner.hpp"
+
+namespace qgtc {
+namespace {
+
+CsrGraph random_graph(i64 n, i64 e, u64 seed) {
+  Rng rng(seed);
+  std::vector<std::pair<i32, i32>> edges;
+  edges.reserve(static_cast<std::size_t>(e));
+  for (i64 i = 0; i < e; ++i) {
+    edges.emplace_back(static_cast<i32>(rng.next_below(static_cast<u64>(n))),
+                       static_cast<i32>(rng.next_below(static_cast<u64>(n))));
+  }
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+void check_invariants(const CsrGraph& g, const PartitionResult& res,
+                      i64 num_parts) {
+  EXPECT_EQ(res.num_parts, num_parts);
+  EXPECT_EQ(static_cast<i64>(res.part_of.size()), g.num_nodes());
+  // Every node assigned to a valid partition.
+  std::vector<i64> counts(static_cast<std::size_t>(num_parts), 0);
+  for (const i32 p : res.part_of) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, num_parts);
+    ++counts[static_cast<std::size_t>(p)];
+  }
+  // Member lists partition the node set exactly.
+  i64 total = 0;
+  for (i64 p = 0; p < num_parts; ++p) {
+    for (const i32 v : res.members[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(res.part_of[static_cast<std::size_t>(v)], p);
+    }
+    total += static_cast<i64>(res.members[static_cast<std::size_t>(p)].size());
+    EXPECT_EQ(static_cast<i64>(res.members[static_cast<std::size_t>(p)].size()),
+              counts[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(Partitioner, SinglePartition) {
+  const CsrGraph g = random_graph(100, 300, 1);
+  const PartitionResult res = partition_graph(g, 1);
+  check_invariants(g, res, 1);
+  EXPECT_DOUBLE_EQ(res.intra_edge_fraction(g), 1.0);
+}
+
+TEST(Partitioner, MorePartsThanNodesClamped) {
+  const CsrGraph g = random_graph(5, 4, 2);
+  const PartitionResult res = partition_graph(g, 50);
+  EXPECT_EQ(res.num_parts, 5);
+}
+
+TEST(Partitioner, BalanceBound) {
+  const CsrGraph g = random_graph(1000, 4000, 3);
+  PartitionOptions opt;
+  const PartitionResult res = partition_graph(g, 10, opt);
+  check_invariants(g, res, 10);
+  const i64 target = 100;
+  for (const auto& members : res.members) {
+    EXPECT_LE(static_cast<i64>(members.size()),
+              static_cast<i64>(static_cast<double>(target) * opt.balance_slack) + 1);
+  }
+}
+
+TEST(Partitioner, RecoversPlantedClusters) {
+  // On an SBM graph, BFS-grow + refinement should capture far more
+  // intra-partition edges than a random assignment (~1/parts).
+  DatasetSpec spec{"sbm", 3000, 24000, 8, 4, 30, 17};
+  const CsrGraph g = generate_sbm_graph(spec);
+  const PartitionResult res = partition_graph(g, 30);
+  check_invariants(g, res, 30);
+  EXPECT_GT(res.intra_edge_fraction(g), 0.5);  // random would be ~0.033
+}
+
+TEST(Partitioner, Deterministic) {
+  const CsrGraph g = random_graph(500, 1500, 4);
+  const PartitionResult a = partition_graph(g, 8);
+  const PartitionResult b = partition_graph(g, 8);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(Partitioner, RefinementImprovesModularity) {
+  DatasetSpec spec{"sbm", 2000, 16000, 8, 4, 20, 23};
+  const CsrGraph g = generate_sbm_graph(spec);
+  PartitionOptions no_refine;
+  no_refine.refine_passes = 0;
+  PartitionOptions refine;
+  refine.refine_passes = 3;
+  const double f0 = partition_graph(g, 20, no_refine).intra_edge_fraction(g);
+  const double f1 = partition_graph(g, 20, refine).intra_edge_fraction(g);
+  EXPECT_GE(f1, f0);
+}
+
+TEST(Partitioner, InvalidPartCountThrows) {
+  const CsrGraph g = random_graph(10, 20, 5);
+  EXPECT_THROW(partition_graph(g, 0), std::invalid_argument);
+}
+
+/// Property: invariants hold across sizes/part counts.
+class PartitionerProperty
+    : public ::testing::TestWithParam<std::tuple<i64, i64>> {};
+
+TEST_P(PartitionerProperty, Invariants) {
+  const auto [n, parts] = GetParam();
+  const CsrGraph g = random_graph(n, n * 4, static_cast<u64>(n + parts));
+  const PartitionResult res = partition_graph(g, parts);
+  check_invariants(g, res, std::min(parts, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionerProperty,
+                         ::testing::Values(std::make_tuple<i64, i64>(50, 3),
+                                           std::make_tuple<i64, i64>(200, 7),
+                                           std::make_tuple<i64, i64>(1000, 16),
+                                           std::make_tuple<i64, i64>(999, 13)));
+
+}  // namespace
+}  // namespace qgtc

@@ -1,0 +1,147 @@
+// Tests for the tensor-core substrate: bmma semantics vs a naive bit loop,
+// fragment load/store round-trips, the zero-tile ballot test, and counters.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tcsim/wmma.hpp"
+
+namespace qgtc::tcsim {
+namespace {
+
+/// Fills a 8 x 4-word packed row block with random bits.
+void random_block(Rng& rng, u32* ptr, i64 stride, double density = 0.5) {
+  for (int r = 0; r < kTileM; ++r) {
+    for (int w = 0; w < kTileKWords; ++w) {
+      u32 word = 0;
+      for (int b = 0; b < 32; ++b) {
+        word |= static_cast<u32>(rng.next_bool(static_cast<float>(density))) << b;
+      }
+      ptr[r * stride + w] = word;
+    }
+  }
+}
+
+int naive_dot(const u32* a, const u32* b, BmmaOp op) {
+  int acc = 0;
+  for (int w = 0; w < kTileKWords; ++w) {
+    for (int bit = 0; bit < 32; ++bit) {
+      const int av = (a[w] >> bit) & 1;
+      const int bv = (b[w] >> bit) & 1;
+      acc += op == BmmaOp::kAnd ? (av & bv) : (av ^ bv);
+    }
+  }
+  return acc;
+}
+
+TEST(Tcsim, Dot128MatchesNaive) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    u32 a[4], b[4];
+    for (auto& w : a) w = static_cast<u32>(rng.next_u64());
+    for (auto& w : b) w = static_cast<u32>(rng.next_u64());
+    EXPECT_EQ(dot128(a, b, BmmaOp::kAnd), naive_dot(a, b, BmmaOp::kAnd));
+    EXPECT_EQ(dot128(a, b, BmmaOp::kXor), naive_dot(a, b, BmmaOp::kXor));
+  }
+}
+
+TEST(Tcsim, BmmaMatchesNaiveTile) {
+  Rng rng(22);
+  std::vector<u32> abuf(kTileM * kTileKWords), bbuf(kTileN * kTileKWords);
+  random_block(rng, abuf.data(), kTileKWords);
+  random_block(rng, bbuf.data(), kTileKWords);
+
+  FragmentA a;
+  FragmentB b;
+  load_matrix_sync(a, abuf.data(), kTileKWords);
+  load_matrix_sync(b, bbuf.data(), kTileKWords);
+  FragmentC c, d;
+  c.fill(5);  // non-zero C exercises the "+ C" part of D = A*B + C
+  bmma_sync(d, a, b, c);
+
+  for (int i = 0; i < kTileM; ++i) {
+    for (int j = 0; j < kTileN; ++j) {
+      const int expect =
+          5 + naive_dot(&abuf[static_cast<std::size_t>(i * kTileKWords)],
+                        &bbuf[static_cast<std::size_t>(j * kTileKWords)], BmmaOp::kAnd);
+      EXPECT_EQ(d.acc[static_cast<std::size_t>(i * kTileN + j)], expect);
+    }
+  }
+}
+
+TEST(Tcsim, StoreMatrixRoundTrip) {
+  FragmentC c;
+  for (int i = 0; i < 64; ++i) c.acc[static_cast<std::size_t>(i)] = i * 3 - 10;
+  std::vector<i32> out(8 * 16, 0);
+  store_matrix_sync(out.data(), c, 16);
+  for (int i = 0; i < kTileM; ++i) {
+    for (int j = 0; j < kTileN; ++j) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i * 16 + j)], i * 8 * 3 + j * 3 - 10);
+    }
+  }
+}
+
+TEST(Tcsim, TileIsZero) {
+  std::vector<u32> buf(kTileM * kTileKWords, 0);
+  EXPECT_TRUE(tile_is_zero(buf.data(), kTileKWords));
+  buf[5] = 1;  // one bit anywhere flips the ballot
+  EXPECT_FALSE(tile_is_zero(buf.data(), kTileKWords));
+  buf[5] = 0;
+  buf[kTileM * kTileKWords - 1] = 0x80000000u;
+  EXPECT_FALSE(tile_is_zero(buf.data(), kTileKWords));
+}
+
+TEST(Tcsim, TileIsZeroRespectsStride) {
+  // Tile sits inside a wider matrix: stride > kTileKWords; bits outside the
+  // tile's 4 words must not affect the verdict.
+  const i64 stride = 10;
+  std::vector<u32> buf(kTileM * stride, 0xffffffffu);
+  for (int r = 0; r < kTileM; ++r) {
+    for (int w = 0; w < kTileKWords; ++w) buf[static_cast<std::size_t>(r * stride + w)] = 0;
+  }
+  EXPECT_TRUE(tile_is_zero(buf.data(), stride));
+}
+
+TEST(Tcsim, CountersTrackOps) {
+  reset_counters();
+  const Counters before = snapshot_counters();
+  FragmentA a;
+  FragmentB b;
+  FragmentC c;
+  std::vector<u32> buf(kTileM * kTileKWords, 0);
+  load_matrix_sync(a, buf.data(), kTileKWords);
+  load_matrix_sync(b, buf.data(), kTileKWords);
+  bmma_sync(c, a, b, c);
+  bmma_sync(c, a, b, c);
+  const Counters after = snapshot_counters();
+  EXPECT_EQ(after.frag_loads_a - before.frag_loads_a, 1u);
+  EXPECT_EQ(after.frag_loads_b - before.frag_loads_b, 1u);
+  EXPECT_EQ(after.bmma_ops - before.bmma_ops, 2u);
+}
+
+TEST(Tcsim, ResetCountersZeroes) {
+  FragmentA a;
+  std::vector<u32> buf(kTileM * kTileKWords, 0);
+  load_matrix_sync(a, buf.data(), kTileKWords);
+  reset_counters();
+  const Counters c = snapshot_counters();
+  EXPECT_EQ(c.bmma_ops, 0u);
+  EXPECT_EQ(c.frag_loads_a, 0u);
+}
+
+TEST(Tcsim, XorSemantics) {
+  // XOR mode: all-ones vs all-zeros disagree everywhere -> popcount 128.
+  std::vector<u32> ones(kTileM * kTileKWords, 0xffffffffu);
+  std::vector<u32> zeros(kTileN * kTileKWords, 0u);
+  FragmentA a;
+  FragmentB b;
+  load_matrix_sync(a, ones.data(), kTileKWords);
+  load_matrix_sync(b, zeros.data(), kTileKWords);
+  FragmentC c, d;
+  bmma_sync(d, a, b, c, BmmaOp::kXor);
+  for (const i32 v : d.acc) EXPECT_EQ(v, 128);
+  bmma_sync(d, a, b, c, BmmaOp::kAnd);
+  for (const i32 v : d.acc) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace qgtc::tcsim
