@@ -49,6 +49,12 @@ inline void run_fig7(gnn::ModelKind kind, i64 hidden_dim) {
   using core::TablePrinter;
   const i64 max_batches = env_i64("QGTC_MAX_BATCHES", quick() ? 8 : 0);
 
+  JsonReport json(kind == gnn::ModelKind::kClusterGCN ? "fig7a_cluster_gcn"
+                                                      : "fig7b_batched_gin",
+                  env_flag("QGTC_JSON"));
+  json.meta("model", gnn::model_name(kind));
+  json.meta("hidden_dim", static_cast<double>(hidden_dim));
+
   std::vector<std::string> headers = {"Dataset", "DGL (fp32) ms"};
   for (const auto& [label, bits] : fig7_bit_grid()) {
     (void)bits;
@@ -82,6 +88,8 @@ inline void run_fig7(gnn::ModelKind kind, i64 hidden_dim) {
     });
 
     std::vector<std::string> row = {spec.name, ms(dgl_s)};
+    std::vector<std::pair<std::string, double>> json_nums = {
+        {"dgl_fp32_ms", dgl_s * 1e3}};
     double best = 0.0;
     for (const auto& [label, bits] : fig7_bit_grid()) {
       (void)label;
@@ -106,10 +114,14 @@ inline void run_fig7(gnn::ModelKind kind, i64 hidden_dim) {
                                      inputs[static_cast<std::size_t>(i)]);
       });
       row.push_back(ms(q_s));
+      json_nums.emplace_back("qgtc_" + std::to_string(bits) + "bit_ms",
+                             q_s * 1e3);
       best = std::max(best, dgl_s / q_s);
     }
     row.push_back(TablePrinter::fmt(best, 2) + "x");
     table.add_row(std::move(row));
+    json_nums.emplace_back("best_speedup", best);
+    json.add_row({{"dataset", spec.name}}, json_nums);
     geo_speedup *= best;
     ++n_rows;
     std::cerr << "  [done] " << spec.name << "\n";

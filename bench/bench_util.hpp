@@ -6,10 +6,16 @@
 //                       ogbn-products to 10 % for a small host)
 //   QGTC_QUICK=1        shrink sweeps/epochs for smoke runs
 //   QGTC_MAX_BATCHES=N  cap timed batches per epoch (extrapolated, printed)
+//   QGTC_JSON=1         also write machine-readable BENCH_<name>.json
+//                       (same as passing --json; QGTC_JSON_DIR sets the
+//                       output directory)
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
@@ -51,5 +57,113 @@ inline double tflops(i64 n, i64 d, double seconds) {
   return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
          static_cast<double>(d) / seconds / 1e12;
 }
+
+/// True when `--json` appears in a bench's argv (QGTC_JSON=1 is the no-argv
+/// equivalent for benches driven through shared helpers).
+inline bool json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return env_flag("QGTC_JSON");
+}
+
+/// Machine-readable benchmark output: rows of key -> value pairs written as
+/// BENCH_<name>.json next to the human-readable table. Disabled (no-op)
+/// unless --json / QGTC_JSON=1 is given, so existing bench invocations are
+/// unchanged.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  JsonReport(std::string name, int argc, char** argv)
+      : JsonReport(std::move(name), json_flag(argc, argv)) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Bench-level metadata ("workload", "backend_default", ...).
+  void meta(const std::string& key, const std::string& value) {
+    if (enabled_) meta_.emplace_back(key, quote(value));
+  }
+  void meta(const std::string& key, double value) {
+    if (enabled_) meta_.emplace_back(key, num(value));
+  }
+
+  /// One result row; string and numeric fields are kept in caller order.
+  void add_row(const std::vector<std::pair<std::string, std::string>>& strs,
+               const std::vector<std::pair<std::string, double>>& nums) {
+    if (!enabled_) return;
+    std::ostringstream os;
+    os << "    {";
+    bool first = true;
+    for (const auto& [k, v] : strs) {
+      os << (first ? "" : ", ") << quote(k) << ": " << quote(v);
+      first = false;
+    }
+    for (const auto& [k, v] : nums) {
+      os << (first ? "" : ", ") << quote(k) << ": " << num(v);
+      first = false;
+    }
+    os << "}";
+    rows_.push_back(os.str());
+  }
+
+  /// Writes BENCH_<name>.json (QGTC_JSON_DIR prefixes the path). Called by
+  /// the destructor; safe to call early and repeatedly.
+  void write() {
+    if (!enabled_ || written_) return;
+    const std::string dir = env_str("QGTC_JSON_DIR", ".");
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "JsonReport: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": " << quote(name_) << ",\n";
+    for (const auto& [k, v] : meta_) out << "  " << quote(k) << ": " << v << ",\n";
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    written_ = true;
+    std::cout << "[json] wrote " << path << " (" << rows_.size() << " rows)\n";
+  }
+
+  ~JsonReport() { write(); }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+          out += c;
+      }
+    }
+    return out + "\"";
+  }
+  static std::string num(double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    const std::string s = os.str();
+    // JSON has no inf/nan literals.
+    return (s.find("inf") != std::string::npos ||
+            s.find("nan") != std::string::npos)
+               ? "null"
+               : s;
+  }
+
+  std::string name_;
+  bool enabled_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace qgtc::bench

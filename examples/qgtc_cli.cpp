@@ -3,8 +3,8 @@
 //
 //   qgtc_cli --dataset ogbn-arxiv --model gcn --bits 4 \
 //            [--partitions N | --autotune] [--batch B] [--layers L]
-//            [--hidden H] [--rounds R] [--save-dataset file.bin]
-//            [--load-dataset file.bin]
+//            [--hidden H] [--rounds R] [--backend scalar|simd|blocked]
+//            [--threads T] [--save-dataset file.bin] [--load-dataset file.bin]
 //
 // Prints epoch latency for the quantized and fp32 paths, substrate
 // counters, zero-tile stats and transfer accounting.
@@ -29,6 +29,8 @@ struct Args {
   qgtc::i64 hidden = 16;
   int rounds = 2;
   bool autotune = false;
+  std::string backend;  // empty = engine default (QGTC_BACKEND or blocked)
+  int threads = 0;      // 0 = unset (engine default, or autotuned)
   std::string save_path;
   std::string load_path;
 };
@@ -37,6 +39,7 @@ void usage() {
   std::cout << "usage: qgtc_cli [--dataset NAME] [--model gcn|gin]\n"
                "  [--bits B] [--partitions N] [--batch B] [--layers L]\n"
                "  [--hidden H] [--rounds R] [--autotune]\n"
+               "  [--backend scalar|simd|blocked] [--threads T]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
                "ogbn-products\n";
@@ -58,6 +61,8 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--hidden") a.hidden = std::atoll(next());
     else if (flag == "--rounds") a.rounds = std::atoi(next());
     else if (flag == "--autotune") a.autotune = true;
+    else if (flag == "--backend") a.backend = next();
+    else if (flag == "--threads") a.threads = std::atoi(next());
     else if (flag == "--save-dataset") a.save_path = next();
     else if (flag == "--load-dataset") a.load_path = next();
     else if (flag == "--help" || flag == "-h") { usage(); return false; }
@@ -107,9 +112,20 @@ int main(int argc, char** argv) {
     const auto tuned = core::generate_runtime_config(ds.spec, cfg.model);
     core::apply(tuned, cfg);
     std::cout << "Autotuned: " << cfg.num_partitions << " partitions, batch "
-              << cfg.batch_size << " (~" << tuned.batch_bytes_estimate / 1000000
-              << " MB/batch)\n";
+              << cfg.batch_size << ", " << cfg.inter_batch_threads
+              << " inter-batch threads (~"
+              << tuned.batch_bytes_estimate / 1000000 << " MB/batch)\n";
   }
+  // Explicit flags beat both the defaults and the autotuner.
+  if (!args.backend.empty()) {
+    try {
+      cfg.backend = tcsim::parse_backend(args.backend);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (args.threads > 0) cfg.inter_batch_threads = args.threads;
 
   std::cout << "Building engine (" << gnn::model_name(cfg.model.kind) << ", "
             << args.bits << "-bit, " << cfg.num_partitions << " partitions)...\n";
@@ -120,6 +136,8 @@ int main(int argc, char** argv) {
   const auto t = engine.transfer_accounting();
 
   core::TablePrinter table({"metric", "value"});
+  table.add_row({"backend", q.backend});
+  table.add_row({"inter-batch threads", std::to_string(q.inter_batch_threads)});
   table.add_row({"batches", std::to_string(q.batches)});
   table.add_row({"nodes/epoch", std::to_string(q.nodes)});
   table.add_row({"QGTC ms/epoch", core::TablePrinter::fmt(q.forward_seconds * 1e3, 1)});

@@ -74,4 +74,18 @@ BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
   return BitTensor::from_planes(std::move(out));
 }
 
+MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
+                    const tcsim::ExecutionContext& ctx, const BmmOptions& opt) {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx;
+  return bitMM2Int(a, b, pinned);
+}
+
+BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
+                    const tcsim::ExecutionContext& ctx, const BmmOptions& opt) {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx;
+  return bitMM2Bit(a, b, bit_c, pinned);
+}
+
 }  // namespace qgtc::api

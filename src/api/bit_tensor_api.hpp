@@ -58,4 +58,14 @@ MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
                     const BmmOptions& opt = {});
 
+/// Context-pinned variants: run on `ctx`'s substrate backend and account
+/// into `ctx`'s counters (opt.ctx, if set, is overridden). This is the knob
+/// a framework integration exposes per stream/session.
+MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
+                    const tcsim::ExecutionContext& ctx,
+                    const BmmOptions& opt = {});
+BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
+                    const tcsim::ExecutionContext& ctx,
+                    const BmmOptions& opt = {});
+
 }  // namespace qgtc::api

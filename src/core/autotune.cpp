@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.hpp"
+
 namespace qgtc::core {
 
 TunedConfig generate_runtime_config(const DatasetSpec& spec,
@@ -45,12 +47,21 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
       (pad8(nb) * pad128(nb) +
        pad8(nb) * pad128(widest_dim) * static_cast<i64>(model.feat_bits)) /
       8;
+
+  // Inter-batch workers: one per parallel unit until the epoch runs out of
+  // batches (a worker without a batch is idle, not parallelism), capped at
+  // the host's actual worker-thread count.
+  const i64 batches_per_epoch =
+      std::max<i64>(ceil_div(t.num_partitions, t.batch_size), 1);
+  t.inter_batch_threads = static_cast<int>(std::clamp<i64>(
+      std::min<i64>(dev.parallel_units, num_threads()), 1, batches_per_epoch));
   return t;
 }
 
 void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.num_partitions = tuned.num_partitions;
   cfg.batch_size = tuned.batch_size;
+  cfg.inter_batch_threads = tuned.inter_batch_threads;
 }
 
 }  // namespace qgtc::core

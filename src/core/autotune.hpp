@@ -27,6 +27,10 @@ struct TunedConfig {
   i64 batch_size = 0;
   /// Estimated per-batch device bytes (packed adjacency + activations).
   i64 batch_bytes_estimate = 0;
+  /// Inter-batch workers for the engine's epoch loop: enough batch streams
+  /// to cover the device's parallel units, never more than there are
+  /// batches per epoch.
+  int inter_batch_threads = 1;
 };
 
 /// Deterministically derives engine knobs from dataset shape + profile.

@@ -1,7 +1,11 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <deque>
+
 #include "common/timer.hpp"
 #include "kernels/zerotile.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace qgtc::core {
 
@@ -37,26 +41,58 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
   }
 }
 
+void QgtcEngine::set_execution(tcsim::BackendKind backend,
+                               int inter_batch_threads) {
+  QGTC_CHECK(inter_batch_threads >= 1, "inter_batch_threads must be >= 1");
+  cfg_.backend = backend;
+  cfg_.inter_batch_threads = inter_batch_threads;
+}
+
+namespace {
+/// Worker count actually usable for an epoch: no more workers than batches.
+int epoch_workers(int requested, i64 batches) {
+  return static_cast<int>(std::clamp<i64>(requested, 1, std::max<i64>(batches, 1)));
+}
+}  // namespace
+
 EngineStats QgtcEngine::run_quantized(int rounds) {
   QGTC_CHECK(rounds >= 1, "rounds must be >= 1");
   EngineStats stats;
   stats.batches = num_batches();
-  gnn::ForwardStats fwd;
-  // Warm-up epoch (first-touch allocation, page faults).
-  for (const BatchData& bd : data_) {
-    (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes, nullptr);
+  const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
+  stats.backend = tcsim::backend_name(cfg_.backend);
+  stats.inter_batch_threads = workers;
+
+  // One private-counter context per worker. Every batch's substrate
+  // accounting lands in exactly one context; the post-epoch merge is a sum
+  // over contexts, so totals are independent of which worker ran which
+  // batch (and of `workers` itself).
+  std::deque<tcsim::ExecutionContext> ctxs;
+  for (int w = 0; w < workers; ++w) {
+    ctxs.emplace_back(cfg_.backend, /*private_counters=*/true);
   }
+  const auto epoch = [&] {
+    parallel_for_workers(0, num_batches(), workers, [&](i64 i, int w) {
+      const BatchData& bd = data_[static_cast<std::size_t>(i)];
+      (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
+                                    /*stats=*/nullptr,
+                                    &ctxs[static_cast<std::size_t>(w)]);
+    });
+  };
+
+  // Warm-up epoch (first-touch allocation, per-worker arena growth).
+  epoch();
+  for (auto& ctx : ctxs) ctx.reset_counters();
+
   Timer t;
-  for (int r = 0; r < rounds; ++r) {
-    for (const BatchData& bd : data_) {
-      (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes, &fwd);
-      stats.nodes += bd.batch.size();
-    }
-  }
+  for (int r = 0; r < rounds; ++r) epoch();
   stats.forward_seconds = t.seconds() / rounds;
-  stats.nodes /= rounds;
-  stats.tiles_jumped = fwd.tiles_jumped / rounds;
-  stats.bmma_ops = fwd.bmma_ops / rounds;
+
+  for (const BatchData& bd : data_) stats.nodes += bd.batch.size();
+  tcsim::Counters total;
+  for (const auto& ctx : ctxs) total += ctx.counters();
+  stats.tiles_jumped = static_cast<i64>(total.tiles_jumped) / rounds;
+  stats.bmma_ops = static_cast<i64>(total.bmma_ops) / rounds;
   return stats;
 }
 
@@ -64,18 +100,19 @@ EngineStats QgtcEngine::run_fp32(int rounds) {
   QGTC_CHECK(rounds >= 1, "rounds must be >= 1");
   EngineStats stats;
   stats.batches = num_batches();
-  for (const BatchData& bd : data_) {
-    (void)model_.forward_fp32(bd.local, bd.features);
-  }
-  Timer t;
-  for (int r = 0; r < rounds; ++r) {
-    for (const BatchData& bd : data_) {
+  const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
+  stats.inter_batch_threads = workers;
+  const auto epoch = [&] {
+    parallel_for_workers(0, num_batches(), workers, [&](i64 i, int) {
+      const BatchData& bd = data_[static_cast<std::size_t>(i)];
       (void)model_.forward_fp32(bd.local, bd.features);
-      stats.nodes += bd.batch.size();
-    }
-  }
+    });
+  };
+  epoch();
+  Timer t;
+  for (int r = 0; r < rounds; ++r) epoch();
   stats.forward_seconds = t.seconds() / rounds;
-  stats.nodes /= rounds;
+  for (const BatchData& bd : data_) stats.nodes += bd.batch.size();
   return stats;
 }
 

@@ -23,6 +23,12 @@ struct EngineConfig {
   i64 num_partitions = 1500;  // paper's METIS setting
   i64 batch_size = 16;        // partitions per batch
   u64 seed = 3;
+  /// Substrate backend every kernel of the forward pass executes on.
+  tcsim::BackendKind backend = tcsim::default_backend();
+  /// Partition-batches executed concurrently by run_quantized / run_fp32
+  /// (each worker owns a private ExecutionContext; counters and stats merge
+  /// deterministically). 1 = the sequential legacy schedule.
+  int inter_batch_threads = 1;
 };
 
 struct EngineStats {
@@ -38,6 +44,9 @@ struct EngineStats {
   double packed_transfer_seconds = 0.0;
   i64 dense_bytes = 0;
   double dense_transfer_seconds = 0.0;
+  // Execution setup the run used (for reporting / JSON bench output).
+  const char* backend = "";
+  int inter_batch_threads = 1;
 };
 
 class QgtcEngine {
@@ -49,6 +58,10 @@ class QgtcEngine {
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   [[nodiscard]] const gnn::QgtcModel& model() const { return model_; }
   [[nodiscard]] i64 num_batches() const { return static_cast<i64>(batches_.size()); }
+
+  /// Re-points subsequent runs at a different backend / worker count without
+  /// rebuilding partitions, batches or the model (the backend-sweep bench).
+  void set_execution(tcsim::BackendKind backend, int inter_batch_threads);
 
   /// Quantized QGTC inference over every batch, `rounds` epochs averaged.
   EngineStats run_quantized(int rounds = 1);

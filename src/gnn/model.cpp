@@ -133,22 +133,26 @@ StackedBitTensor QgtcModel::prepare_input(const MatrixF& x) const {
 }
 
 MatrixI32 QgtcModel::forward_quantized(const BitMatrix& adj, const MatrixF& x,
-                                       ForwardStats* stats) const {
-  return forward_prepared(adj, nullptr, prepare_input(x), stats);
+                                       ForwardStats* stats,
+                                       const tcsim::ExecutionContext* ctx) const {
+  return forward_prepared(adj, nullptr, prepare_input(x), stats, ctx);
 }
 
 MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
                                       const TileMap* tile_map,
                                       const StackedBitTensor& x_planes,
-                                      ForwardStats* stats) const {
+                                      ForwardStats* stats,
+                                      const tcsim::ExecutionContext* ctx) const {
   const int s = cfg_.feat_bits;
   BmmOptions opt;
   opt.zero_tile_jump = cfg_.zero_tile_jump;
   opt.tile_map = tile_map;
   opt.allow_overflow = (cfg_.feat_bits > 8 || cfg_.weight_bits > 8);
+  opt.ctx = ctx;
 
+  const tcsim::ExecutionContext& exec = resolve_ctx(opt);
   tcsim::Counters before;
-  if (stats != nullptr) before = tcsim::snapshot_counters();
+  if (stats != nullptr) before = exec.counters();
 
   const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
   // `cur` tracks the packed activation between layers without copying the
@@ -253,7 +257,7 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
   }
 
   if (stats != nullptr) {
-    const tcsim::Counters after = tcsim::snapshot_counters();
+    const tcsim::Counters after = exec.counters();
     stats->tiles_jumped += static_cast<i64>(after.tiles_jumped - before.tiles_jumped);
     stats->bmma_ops += static_cast<i64>(after.bmma_ops - before.bmma_ops);
   }

@@ -50,8 +50,11 @@ class QgtcModel {
   /// (kRowMajorK); `x` the gathered fp32 features. Quantizes + packs the
   /// input inline — convenient, but production callers should pre-pack with
   /// `prepare_input` (the paper packs on the host before transfer, §4.6).
+  /// `ctx` selects the substrate backend / counter sink (null = process
+  /// default context).
   MatrixI32 forward_quantized(const BitMatrix& adj, const MatrixF& x,
-                              ForwardStats* stats = nullptr) const;
+                              ForwardStats* stats = nullptr,
+                              const tcsim::ExecutionContext* ctx = nullptr) const;
 
   /// Host-side input packing: quantize to feat_bits and bit-decompose in the
   /// layout the first layer consumes (kColMajorK for GCN, kRowMajorK for GIN).
@@ -59,9 +62,13 @@ class QgtcModel {
 
   /// Forward over a pre-packed input. `tile_map` (optional) is the cached
   /// zero-tile map of `adj`, reused across layers and bit-planes (§3.2).
+  /// Every kernel in the pass runs on `ctx`'s backend and notes its counters
+  /// into `ctx`'s sink; per-worker contexts make concurrent batch streams
+  /// race-free (the engine's inter-batch parallelism).
   MatrixI32 forward_prepared(const BitMatrix& adj, const TileMap* tile_map,
                              const StackedBitTensor& x_planes,
-                             ForwardStats* stats = nullptr) const;
+                             ForwardStats* stats = nullptr,
+                             const tcsim::ExecutionContext* ctx = nullptr) const;
 
   /// fp32 reference forward (the DGL-substitute path) over the batch's
   /// local CSR. Returns fp32 logits.

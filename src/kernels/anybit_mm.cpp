@@ -1,9 +1,9 @@
 #include "kernels/anybit_mm.hpp"
 
 #include <array>
-#include "kernels/tile_ops.hpp"
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "parallel/parallel_for.hpp"
 
@@ -47,9 +47,11 @@ bool tile_zero_all_planes(const std::vector<const BitMatrix*>& ap, i64 tm,
 }
 
 /// Single-pass any-bit tile sweep (the §4.4 cross-tile reduction generalised
-/// to multi-bit A): for each output tile, every surviving K tile is loaded
+/// to multi-bit A): for each output tile, every surviving K tile is decoded
 /// once per A plane and multiplied against every B plane before moving on.
-/// `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile.
+/// `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile. Tile
+/// ops execute on the context's substrate backend; scratch comes from the
+/// per-thread workspace arena.
 ///
 /// `parallel_over_n` selects the parallel axis: row-tile blocks when the
 /// consumer writes row-owned data (int32 rows / kRowMajorK planes), and
@@ -66,16 +68,22 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
   QGTC_CHECK(b0.layout() == BitLayout::kColMajorK, "B planes must be kColMajorK");
   QGTC_CHECK(a0.padded_cols() == b0.padded_rows(),
              "padded K extents of A and B differ");
+  QGTC_CHECK(!(opt.zero_tile_jump && opt.op == tcsim::BmmaOp::kXor),
+             "zero-tile jumping is incompatible with the XOR combine");
 
+  const tcsim::ExecutionContext& ctx = resolve_ctx(opt);
+  const tcsim::SubstrateBackend& be = ctx.backend();
   const i64 tiles_m = a0.padded_rows() / kTileM;
   const i64 tiles_n = b0.padded_cols() / kTileN;
   const i64 tiles_k = a0.padded_cols() / kTileK;
   const int sa = static_cast<int>(ap.size());
   const int sb = static_cast<int>(bp.size());
+  const bool use_xor = (opt.op == tcsim::BmmaOp::kXor);
 
   // Surviving K tiles per row block, shared across the N sweep (and across
-  // threads when parallelising over N).
-  std::vector<std::vector<i64>> k_lists(static_cast<std::size_t>(tiles_m));
+  // threads when parallelising over N). The list-of-lists lives in the
+  // calling thread's arena; inner threads only read it.
+  std::vector<std::vector<i64>>& k_lists = ctx.workspace().k_lists(tiles_m);
   parallel_for(0, tiles_m, [&](i64 tm) {
     auto& list = k_lists[static_cast<std::size_t>(tm)];
     list.reserve(static_cast<std::size_t>(tiles_k));
@@ -93,7 +101,9 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
       list.push_back(tk);
     }
     if (jumped > 0) {
-      tcsim::thread_counters().tiles_jumped += static_cast<u64>(jumped);
+      tcsim::Counters delta;
+      delta.tiles_jumped = static_cast<u64>(jumped);
+      ctx.note(delta);
     }
   });
 
@@ -101,80 +111,84 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
     // ColMajorK consumers: parallel over output-column tiles. These products
     // are small (few column tiles), so the simple per-(tm, tn) path is fine.
     parallel_for_dynamic(0, tiles_n, /*chunk=*/1, [&](i64 tn) {
-      std::array<i32, 64> acc;
-      detail::TileAcc tile;
+      u64* acc = ctx.workspace().acc_lanes(tcsim::kTileAccLanes);
+      tcsim::AFragment frag;
+      std::array<i32, 64> out;
+      tcsim::Counters delta;
       for (i64 tm = 0; tm < tiles_m; ++tm) {
-        acc.fill(0);
-        tile.reset();
+        std::memset(acc, 0, tcsim::kTileAccLanes * sizeof(u64));
         const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
         for (const i64 tk : k_list) {
           for (int ab = 0; ab < sa; ++ab) {
             const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
-            const u32* a_tile = pa.row_words(tm * kTileM) + tk * kTileKWords;
+            be.load_a(frag, pa.row_words(tm * kTileM) + tk * kTileKWords,
+                      pa.k_words());
             for (int bb = 0; bb < sb; ++bb) {
               const BitMatrix& pb = *bp[static_cast<std::size_t>(bb)];
-              tile.mma(a_tile, pa.k_words(),
-                       pb.col_words(tn * kTileN) + tk * kTileKWords,
-                       pb.k_words(), ab + bb);
+              be.mma(acc, frag, pb.col_words(tn * kTileN) + tk * kTileKWords,
+                     pb.k_words(), ab + bb, use_xor);
             }
           }
         }
-        tile.flush(acc.data());
-        consume(tm, tn, acc);
-        auto& counters = tcsim::thread_counters();
+        out.fill(0);
+        be.flush(out.data(), kTileN, acc);
+        consume(tm, tn, out);
         const u64 kt = static_cast<u64>(k_list.size());
-        counters.bmma_ops += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
-        counters.frag_loads_a += kt * static_cast<u64>(sa);
-        counters.frag_loads_b += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
+        delta.bmma_ops += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
+        delta.frag_loads_a += kt * static_cast<u64>(sa);
+        delta.frag_loads_b += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
       }
+      // Bulk substrate accounting: one context note per column-tile sweep.
+      ctx.note(delta);
     });
   } else {
-    // Cross-tile reduction (§4.4), panel form: a loaded A tile (one per
-    // surviving (tk, plane)) is swept across a block of output-column tiles
-    // and every B bit-plane before the next A tile is touched. This both
-    // realises the paper's O(1)-loads claim and amortises per-output-tile
-    // bookkeeping over the whole K reduction.
-    constexpr i64 kTnBlock = 8;
+    // Cross-tile reduction (§4.4), panel form: a decoded A fragment (one per
+    // surviving (tk, plane)) is swept across the backend's panel of
+    // output-column tiles and every B bit-plane before the next A tile is
+    // touched. This both realises the paper's O(1)-loads claim and amortises
+    // per-output-tile bookkeeping over the whole K reduction. The per-tile
+    // backends (panel width 1) degenerate to cross-bit-style reloads.
+    const i64 width = be.panel_width();
     parallel_for_dynamic(0, tiles_m, /*chunk=*/1, [&](i64 tm) {
       const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
-      std::array<detail::TileAcc, kTnBlock> tiles;
-      detail::TileAcc::APanel apanel;
-      std::array<i32, 64> acc;
+      u64* acc = ctx.workspace().acc_lanes(width * tcsim::kTileAccLanes);
+      tcsim::AFragment frag;
+      std::array<i32, 64> out;
       i64 a_loads = 0;
-      for (i64 tn0 = 0; tn0 < tiles_n; tn0 += kTnBlock) {
-        const i64 nb = std::min<i64>(kTnBlock, tiles_n - tn0);
-        for (i64 b = 0; b < nb; ++b) tiles[static_cast<std::size_t>(b)].reset();
+      for (i64 tn0 = 0; tn0 < tiles_n; tn0 += width) {
+        const i64 nb = std::min<i64>(width, tiles_n - tn0);
+        std::memset(acc, 0,
+                    static_cast<std::size_t>(nb * tcsim::kTileAccLanes) * sizeof(u64));
         for (const i64 tk : k_list) {
           for (int ab = 0; ab < sa; ++ab) {
             const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
-            detail::TileAcc::load_a(
-                apanel, pa.row_words(tm * kTileM) + tk * kTileKWords,
-                pa.k_words());
+            be.load_a(frag, pa.row_words(tm * kTileM) + tk * kTileKWords,
+                      pa.k_words());
             ++a_loads;
             for (i64 b = 0; b < nb; ++b) {
               for (int bb = 0; bb < sb; ++bb) {
                 const BitMatrix& pb = *bp[static_cast<std::size_t>(bb)];
-                tiles[static_cast<std::size_t>(b)].mma_preloaded(
-                    apanel,
-                    pb.col_words((tn0 + b) * kTileN) + tk * kTileKWords,
-                    pb.k_words(), ab + bb);
+                be.mma(acc + b * tcsim::kTileAccLanes, frag,
+                       pb.col_words((tn0 + b) * kTileN) + tk * kTileKWords,
+                       pb.k_words(), ab + bb, use_xor);
               }
             }
           }
         }
         for (i64 b = 0; b < nb; ++b) {
-          acc.fill(0);
-          tiles[static_cast<std::size_t>(b)].flush(acc.data());
-          consume(tm, tn0 + b, acc);
+          out.fill(0);
+          be.flush(out.data(), kTileN, acc + b * tcsim::kTileAccLanes);
+          consume(tm, tn0 + b, out);
         }
       }
-      auto& counters = tcsim::thread_counters();
+      tcsim::Counters delta;
       const u64 kt = static_cast<u64>(k_list.size());
-      counters.bmma_ops +=
+      delta.bmma_ops =
           kt * static_cast<u64>(sa) * static_cast<u64>(sb) * static_cast<u64>(tiles_n);
-      counters.frag_loads_a += static_cast<u64>(a_loads);
-      counters.frag_loads_b +=
+      delta.frag_loads_a = static_cast<u64>(a_loads);
+      delta.frag_loads_b =
           kt * static_cast<u64>(sa) * static_cast<u64>(sb) * static_cast<u64>(tiles_n);
+      ctx.note(delta);
     });
   }
 }
@@ -196,7 +210,8 @@ MatrixI32 bitmm_to_int(const StackedBitTensor& a, const StackedBitTensor& b,
                        const BmmOptions& opt) {
   QGTC_CHECK(a.cols() == b.rows(), "bitmm_to_int: inner dimensions differ");
   if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
-  MatrixI32 padded = make_padded_accumulator(a.plane(0), b.plane(0));
+  MatrixI32& padded = resolve_ctx(opt).workspace().padded_acc(
+      pad8(a.plane(0).rows()), b.plane(0).padded_cols());
   for (int ab = 0; ab < a.bits(); ++ab) {
     for (int bb = 0; bb < b.bits(); ++bb) {
       bmm_accumulate(a.plane(ab), b.plane(bb), padded, ab + bb, opt);
@@ -323,7 +338,8 @@ MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
   if (mode == ReuseMode::kCrossBit) {
     // Figure 6(a): one complete BMM pass per bit-plane; every non-zero A
     // tile is re-loaded for each plane.
-    MatrixI32 padded = make_padded_accumulator(a_bin, x.plane(0));
+    MatrixI32& padded = resolve_ctx(opt).workspace().padded_acc(
+        pad8(a_bin.rows()), x.plane(0).padded_cols());
     for (int b = 0; b < x.bits(); ++b) {
       bmm_accumulate(a_bin, x.plane(b), padded, b, opt);
     }

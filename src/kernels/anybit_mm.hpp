@@ -7,6 +7,10 @@
 //  * inter-layer kernel fusion (§4.5): ReLU / batch-norm / requantization +
 //    bit-decomposition run inside the GEMM epilogue so hidden layers hand
 //    packed low-bit planes straight to the next layer.
+//
+// Every entry point executes its tile ops on the substrate backend of the
+// caller's ExecutionContext (BmmOptions::ctx; null = process default) and
+// draws scratch from that context's per-thread workspace arena.
 #pragma once
 
 #include <vector>

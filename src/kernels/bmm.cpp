@@ -1,7 +1,8 @@
 #include "kernels/bmm.hpp"
 
-#include <array>
-#include "kernels/tile_ops.hpp"
+#include <algorithm>
+#include <cstring>
+
 #include "parallel/parallel_for.hpp"
 
 namespace qgtc {
@@ -31,20 +32,25 @@ void bmm_accumulate(const BitMatrix& a, const BitMatrix& b, MatrixI32& c,
   QGTC_CHECK(!(opt.zero_tile_jump && opt.op == tcsim::BmmaOp::kXor),
              "zero-tile jumping is incompatible with the XOR combine");
 
+  const tcsim::ExecutionContext& ctx = resolve_ctx(opt);
+  const tcsim::SubstrateBackend& be = ctx.backend();
   const i64 tiles_m = pad8(a.rows()) / kTileM;
   const i64 tiles_n = b.padded_cols() / kTileN;
   const i64 tiles_k = a.padded_cols() / kTileK;
   const i64 a_stride = a.k_words();
   const i64 b_stride = b.k_words();
+  const bool use_xor = (opt.op == tcsim::BmmaOp::kXor);
+  const i64 width = be.panel_width();
 
   // Row-tile blocks are the parallel unit: each thread owns disjoint C rows,
   // so no accumulator races. Dynamic schedule because zero-tile jumping makes
   // per-block work data-dependent.
   parallel_for_dynamic(0, tiles_m, /*chunk=*/1, [&](i64 tm) {
+    tcsim::Workspace& ws = ctx.workspace();
     // Gather this row-block's non-zero K tiles once; the list is reused for
     // every N tile (amortises the §4.3 test across the full row of output).
     i64 jumped = 0;
-    std::vector<i64> k_tiles;
+    std::vector<i64>& k_tiles = ws.k_list();
     k_tiles.reserve(static_cast<std::size_t>(tiles_k));
     for (i64 tk = 0; tk < tiles_k; ++tk) {
       if (opt.zero_tile_jump) {
@@ -61,53 +67,48 @@ void bmm_accumulate(const BitMatrix& a, const BitMatrix& b, MatrixI32& c,
       k_tiles.push_back(tk);
     }
 
-    // Panel form: one A-tile load serves a block of output-column tiles;
-    // the "<< bitIdx" weighting of Algorithm 1 is folded into the tile
-    // accumulator (u64 lanes => exact uint32 wrap for any shift).
-    constexpr i64 kTnBlock = 8;
-    alignas(64) i32 acc[kTileM * kTileN];
+    // Panel form: one decoded A fragment serves `width` output-column tiles
+    // before the next A tile is touched (width is the backend's §4.4
+    // blocking factor; 1 for the per-tile backends). The "<< bitIdx"
+    // weighting of Algorithm 1 is folded into the tile accumulator lanes
+    // (u64 => exact uint32 wrap for any shift at flush).
+    u64* acc = ws.acc_lanes(width * tcsim::kTileAccLanes);
+    tcsim::AFragment frag;
     const u32* a_block = a.row_words(tm * kTileM);
-    std::array<detail::TileAcc, kTnBlock> tiles;
-    detail::TileAcc::APanel apanel;
     i64 a_loads = 0;
-    for (i64 tn0 = 0; tn0 < tiles_n; tn0 += kTnBlock) {
-      const i64 nb = std::min<i64>(kTnBlock, tiles_n - tn0);
-      for (i64 blk = 0; blk < nb; ++blk) tiles[static_cast<std::size_t>(blk)].reset();
-      const bool use_xor = (opt.op == tcsim::BmmaOp::kXor);
+    for (i64 tn0 = 0; tn0 < tiles_n; tn0 += width) {
+      const i64 nb = std::min<i64>(width, tiles_n - tn0);
+      std::memset(acc, 0,
+                  static_cast<std::size_t>(nb * tcsim::kTileAccLanes) * sizeof(u64));
       for (const i64 tk : k_tiles) {
-        detail::TileAcc::load_a(apanel, a_block + tk * kTileKWords, a_stride);
+        be.load_a(frag, a_block + tk * kTileKWords, a_stride);
         ++a_loads;
         for (i64 blk = 0; blk < nb; ++blk) {
-          tiles[static_cast<std::size_t>(blk)].mma_preloaded(
-              apanel, b.col_words((tn0 + blk) * kTileN) + tk * kTileKWords,
-              b_stride, shift, use_xor);
+          be.mma(acc + blk * tcsim::kTileAccLanes, frag,
+                 b.col_words((tn0 + blk) * kTileN) + tk * kTileKWords, b_stride,
+                 shift, use_xor);
         }
       }
       for (i64 blk = 0; blk < nb; ++blk) {
-        std::memset(acc, 0, sizeof(acc));
-        tiles[static_cast<std::size_t>(blk)].flush(acc);
-        i32* cptr =
-            c.data() + (tm * kTileM) * c.cols() + (tn0 + blk) * kTileN;
-        for (int i = 0; i < kTileM; ++i) {
-          for (int j = 0; j < kTileN; ++j) {
-            i32& dst = cptr[i * c.cols() + j];
-            dst = static_cast<i32>(static_cast<u32>(dst) +
-                                   static_cast<u32>(acc[i * kTileN + j]));
-          }
-        }
+        be.flush(c.data() + (tm * kTileM) * c.cols() + (tn0 + blk) * kTileN,
+                 c.cols(), acc + blk * tcsim::kTileAccLanes);
       }
     }
-    // Bulk substrate accounting: one TLS access per row block.
-    auto& counters = tcsim::thread_counters();
-    counters.tiles_jumped += static_cast<u64>(jumped);
-    counters.bmma_ops += static_cast<u64>(k_tiles.size() * tiles_n);
-    counters.frag_loads_a += static_cast<u64>(a_loads);
-    counters.frag_loads_b += static_cast<u64>(k_tiles.size() * tiles_n);
+    // Bulk substrate accounting: one context note per row block.
+    tcsim::Counters delta;
+    delta.tiles_jumped = static_cast<u64>(jumped);
+    delta.bmma_ops = static_cast<u64>(k_tiles.size() * tiles_n);
+    delta.frag_loads_a = static_cast<u64>(a_loads);
+    delta.frag_loads_b = static_cast<u64>(k_tiles.size() * tiles_n);
+    ctx.note(delta);
   });
 }
 
 MatrixI32 bmm(const BitMatrix& a, const BitMatrix& b, const BmmOptions& opt) {
-  MatrixI32 padded = make_padded_accumulator(a, b);
+  // The padded accumulator comes from the caller thread's arena — epochs of
+  // same-shaped batches stop paying an allocation + page-fault per call.
+  MatrixI32& padded =
+      resolve_ctx(opt).workspace().padded_acc(pad8(a.rows()), b.padded_cols());
   bmm_accumulate(a, b, padded, /*shift=*/0, opt);
   return slice_logical(padded, a.rows(), b.cols());
 }

@@ -5,6 +5,7 @@
 
 #include "bittensor/bit_matrix.hpp"
 #include "kernels/zerotile.hpp"
+#include "tcsim/exec_context.hpp"
 #include "tcsim/wmma.hpp"
 
 namespace qgtc {
@@ -24,7 +25,17 @@ struct BmmOptions {
   /// Bitwise combine of the 1-bit MMA: kAnd for unsigned bit-composition
   /// (the QGTC scheme), kXor for +-1 binarized networks (paper §2.3).
   tcsim::BmmaOp op = tcsim::BmmaOp::kAnd;
+  /// Execution context supplying the substrate backend, workspace arena and
+  /// counter sink. Null routes to ExecutionContext::default_context().
+  const tcsim::ExecutionContext* ctx = nullptr;
 };
+
+/// Resolves an options block's context (null -> process default).
+[[nodiscard]] inline const tcsim::ExecutionContext& resolve_ctx(
+    const BmmOptions& opt) {
+  return opt.ctx != nullptr ? *opt.ctx
+                            : tcsim::ExecutionContext::default_context();
+}
 
 /// C (+)= (A x B) << shift.
 ///

@@ -35,17 +35,39 @@ void parallel_for(i64 begin, i64 end, Fn&& fn) {
 
 /// Dynamically-scheduled parallel loop with a chunk size. Use when iteration
 /// cost is irregular (zero-tile jumping makes row-block cost data-dependent).
+/// The chunk is the unit of scheduled work: workers grab one chunk of
+/// `chunk` consecutive iterations at a time, and the serial cutoff counts
+/// chunks (too few chunks cannot amortise a region spawn, however many raw
+/// iterations they contain).
 template <typename Fn>
 void parallel_for_dynamic(i64 begin, i64 end, i64 chunk, Fn&& fn) {
-  if (end - begin < kSerialCutoff) {
+  if (chunk < 1) chunk = 1;
+  const i64 chunks = ceil_div(end - begin, chunk);
+  if (chunks < kSerialCutoff) {
     for (i64 i = begin; i < end; ++i) fn(i);
     return;
   }
 #pragma omp parallel for schedule(dynamic, 1)
-  for (i64 c = begin; c < end; c += chunk) {
-    const i64 hi = (c + chunk < end) ? c + chunk : end;
-    for (i64 i = c; i < hi; ++i) fn(i);
+  for (i64 ci = 0; ci < chunks; ++ci) {
+    const i64 lo = begin + ci * chunk;
+    const i64 hi = (lo + chunk < end) ? lo + chunk : end;
+    for (i64 i = lo; i < hi; ++i) fn(i);
   }
+}
+
+/// Dynamically-scheduled loop over [begin, end) with an explicit worker
+/// count; the body receives (iteration, worker) where worker is in
+/// [0, threads). The engine's inter-batch parallelism: each worker owns a
+/// per-worker ExecutionContext, so worker indices must be dense and bounded.
+/// threads <= 1 runs serially in the caller (worker 0).
+template <typename Fn>
+void parallel_for_workers(i64 begin, i64 end, int threads, Fn&& fn) {
+  if (threads <= 1 || end - begin <= 1) {
+    for (i64 i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (i64 i = begin; i < end; ++i) fn(i, omp_get_thread_num());
 }
 
 /// Parallel sum-reduction of fn(i) over [begin, end).

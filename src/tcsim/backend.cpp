@@ -1,0 +1,362 @@
+#include "tcsim/backend.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/env.hpp"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace qgtc::tcsim {
+namespace {
+
+// ------------------------------------------------------------------------
+// Portable u64 micro-kernels. Accumulator layout: u64[8][8] row-major
+// (lanes 64..127 unused). These are the semantic reference — dot128 shape.
+// ------------------------------------------------------------------------
+
+struct ScalarKernels {
+  static void load_a(AFragment& frag, const u32* a, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) {
+      std::memcpy(&frag.lanes[static_cast<std::size_t>(i) * 8],
+                  a + i * a_stride, 16);
+    }
+  }
+
+  static void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+                  int shift, bool use_xor) {
+    for (int j = 0; j < kTileN; ++j) {
+      u64 b0, b1;
+      std::memcpy(&b0, b + j * b_stride, 8);
+      std::memcpy(&b1, b + j * b_stride + 2, 8);
+      for (int i = 0; i < kTileM; ++i) {
+        const u64 a0 = frag.lanes[static_cast<std::size_t>(i) * 8];
+        const u64 a1 = frag.lanes[static_cast<std::size_t>(i) * 8 + 1];
+        const u64 cnt =
+            use_xor
+                ? static_cast<u64>(std::popcount(a0 ^ b0) + std::popcount(a1 ^ b1))
+                : static_cast<u64>(std::popcount(a0 & b0) + std::popcount(a1 & b1));
+        acc[static_cast<std::size_t>(i) * kTileN + j] += cnt << shift;
+      }
+    }
+  }
+
+  static void flush(i32* out, i64 out_stride, const u64* acc) {
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = out + i * out_stride;
+      for (int j = 0; j < kTileN; ++j) {
+        row[j] = static_cast<i32>(
+            static_cast<u32>(row[j]) +
+            static_cast<u32>(acc[static_cast<std::size_t>(i) * kTileN + j]));
+      }
+    }
+  }
+};
+
+/// Compile-time SIMD fallback: same layout as ScalarKernels but the B tile
+/// is decoded once per tile op (u64 x 4 words) and the inner loop is
+/// unrolled over column pairs — the best a portable build can do.
+struct U64x4Kernels {
+  static void load_a(AFragment& frag, const u32* a, i64 a_stride) {
+    ScalarKernels::load_a(frag, a, a_stride);
+  }
+
+  static void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+                  int shift, bool use_xor) {
+    u64 bl[kTileN][2];
+    for (int j = 0; j < kTileN; ++j) {
+      std::memcpy(&bl[j][0], b + j * b_stride, 8);
+      std::memcpy(&bl[j][1], b + j * b_stride + 2, 8);
+    }
+    for (int i = 0; i < kTileM; ++i) {
+      const u64 a0 = frag.lanes[static_cast<std::size_t>(i) * 8];
+      const u64 a1 = frag.lanes[static_cast<std::size_t>(i) * 8 + 1];
+      u64* row = acc + static_cast<std::size_t>(i) * kTileN;
+      if (use_xor) {
+        for (int j = 0; j < kTileN; j += 2) {
+          row[j] += static_cast<u64>(std::popcount(a0 ^ bl[j][0]) +
+                                     std::popcount(a1 ^ bl[j][1]))
+                    << shift;
+          row[j + 1] += static_cast<u64>(std::popcount(a0 ^ bl[j + 1][0]) +
+                                         std::popcount(a1 ^ bl[j + 1][1]))
+                        << shift;
+        }
+      } else {
+        for (int j = 0; j < kTileN; j += 2) {
+          row[j] += static_cast<u64>(std::popcount(a0 & bl[j][0]) +
+                                     std::popcount(a1 & bl[j][1]))
+                    << shift;
+          row[j + 1] += static_cast<u64>(std::popcount(a0 & bl[j + 1][0]) +
+                                         std::popcount(a1 & bl[j + 1][1]))
+                        << shift;
+        }
+      }
+    }
+  }
+
+  static void flush(i32* out, i64 out_stride, const u64* acc) {
+    ScalarKernels::flush(out, out_stride, acc);
+  }
+};
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+
+/// AVX-512 VPOPCNTDQ: one 512-bit vector holds four B columns (4 x 128-bit
+/// lanes). Accumulator layout: __m512i[8][2] = 128 u64 per tile, per-lane
+/// partial sums combined at flush (matches detail::TileAcc's AVX-512 path).
+struct Avx512Kernels {
+  static void load_a(AFragment& frag, const u32* a, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) {
+      const __m512i v = _mm512_broadcast_i32x4(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i * a_stride)));
+      _mm512_store_si512(
+          reinterpret_cast<__m512i*>(&frag.lanes[static_cast<std::size_t>(i) * 8]), v);
+    }
+  }
+
+  static void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+                  int shift, bool use_xor) {
+    __m512i bc[2];
+    for (int g = 0; g < 2; ++g) {
+      __m512i v = _mm512_castsi128_si512(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + (4 * g) * b_stride)));
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b + (4 * g + 1) * b_stride)), 1);
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b + (4 * g + 2) * b_stride)), 2);
+      v = _mm512_inserti32x4(v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                    b + (4 * g + 3) * b_stride)), 3);
+      bc[g] = v;
+    }
+    for (int i = 0; i < kTileM; ++i) {
+      const __m512i av = _mm512_load_si512(reinterpret_cast<const __m512i*>(
+          &frag.lanes[static_cast<std::size_t>(i) * 8]));
+      for (int g = 0; g < 2; ++g) {
+        __m512i* slot = reinterpret_cast<__m512i*>(acc + (i * 2 + g) * 8);
+        const __m512i mixed =
+            use_xor ? _mm512_xor_si512(av, bc[g]) : _mm512_and_si512(av, bc[g]);
+        const __m512i cnt = _mm512_popcnt_epi64(mixed);
+        _mm512_storeu_si512(
+            slot, _mm512_add_epi64(
+                      _mm512_loadu_si512(slot),
+                      _mm512_slli_epi64(cnt, static_cast<unsigned>(shift))));
+      }
+    }
+  }
+
+  static void flush(i32* out, i64 out_stride, const u64* acc) {
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = out + i * out_stride;
+      for (int g = 0; g < 2; ++g) {
+        const u64* tmp = acc + (i * 2 + g) * 8;
+        for (int c = 0; c < 4; ++c) {
+          const int j = 4 * g + c;
+          row[j] = static_cast<i32>(static_cast<u32>(row[j]) +
+                                    static_cast<u32>(tmp[2 * c] + tmp[2 * c + 1]));
+        }
+      }
+    }
+  }
+};
+
+#endif  // AVX512VPOPCNTDQ
+
+#if defined(__AVX2__)
+
+/// Per-byte popcount of a 256-bit vector via the classic 4-bit LUT
+/// (sidesteps the scalar POPCNT port bottleneck on this tile shape).
+inline __m256i popcount_bytes_256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// AVX2: one 256-bit vector holds two B columns. Accumulator layout:
+/// __m256i[8][4] = 128 u64 per tile (per-vpsadbw-lane partial sums).
+struct Avx2Kernels {
+  static void load_a(AFragment& frag, const u32* a, i64 a_stride) {
+    for (int i = 0; i < kTileM; ++i) {
+      const __m256i v = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i * a_stride)));
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(&frag.lanes[static_cast<std::size_t>(i) * 8]), v);
+    }
+  }
+
+  static void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+                  int shift, bool use_xor) {
+    __m256i bc[4];
+    for (int p = 0; p < 4; ++p) {
+      const __m128i lo = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + (2 * p) * b_stride));
+      const __m128i hi = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(b + (2 * p + 1) * b_stride));
+      bc[p] = _mm256_set_m128i(hi, lo);
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    for (int i = 0; i < kTileM; ++i) {
+      const __m256i av = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+          &frag.lanes[static_cast<std::size_t>(i) * 8]));
+      for (int p = 0; p < 4; ++p) {
+        __m256i* slot = reinterpret_cast<__m256i*>(acc + (i * 4 + p) * 4);
+        const __m256i x =
+            use_xor ? _mm256_xor_si256(av, bc[p]) : _mm256_and_si256(av, bc[p]);
+        const __m256i sums = _mm256_sad_epu8(popcount_bytes_256(x), zero);
+        _mm256_storeu_si256(
+            slot, _mm256_add_epi64(_mm256_loadu_si256(slot),
+                                   _mm256_slli_epi64(sums, shift)));
+      }
+    }
+  }
+
+  static void flush(i32* out, i64 out_stride, const u64* acc) {
+    for (int i = 0; i < kTileM; ++i) {
+      i32* row = out + i * out_stride;
+      for (int p = 0; p < 4; ++p) {
+        const u64* tmp = acc + (i * 4 + p) * 4;
+        row[2 * p] = static_cast<i32>(static_cast<u32>(row[2 * p]) +
+                                      static_cast<u32>(tmp[0] + tmp[1]));
+        row[2 * p + 1] = static_cast<i32>(static_cast<u32>(row[2 * p + 1]) +
+                                          static_cast<u32>(tmp[2] + tmp[3]));
+      }
+    }
+  }
+};
+
+#endif  // AVX2
+
+// ------------------------------------------------------------------------
+// Registry plumbing
+// ------------------------------------------------------------------------
+
+template <typename Kernels>
+class BackendImpl final : public SubstrateBackend {
+ public:
+  BackendImpl(BackendKind kind, const char* name, i64 width)
+      : kind_(kind), name_(name), width_(width) {}
+
+  [[nodiscard]] BackendKind kind() const override { return kind_; }
+  [[nodiscard]] const char* name() const override { return name_; }
+  [[nodiscard]] i64 panel_width() const override { return width_; }
+
+  void load_a(AFragment& frag, const u32* a, i64 a_stride) const override {
+    Kernels::load_a(frag, a, a_stride);
+  }
+  void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+           int shift, bool use_xor) const override {
+    Kernels::mma(acc, frag, b, b_stride, shift, use_xor);
+  }
+  void flush(i32* out, i64 out_stride, const u64* acc) const override {
+    Kernels::flush(out, out_stride, acc);
+  }
+
+ private:
+  BackendKind kind_;
+  const char* name_;
+  i64 width_;
+};
+
+/// §4.4 cross-tile blocking factor used by kBlocked (output-column tiles a
+/// decoded A fragment stays resident for).
+constexpr i64 kPanelWidth = 8;
+
+/// True when the vector micro-kernels compiled in are usable on this CPU.
+bool runtime_simd_ok() {
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#elif defined(__AVX2__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const SubstrateBackend& simd_impl(BackendKind kind, i64 width) {
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+  if (runtime_simd_ok()) {
+    static const BackendImpl<Avx512Kernels> simd{BackendKind::kSimd,
+                                                 "simd(avx512)", 1};
+    static const BackendImpl<Avx512Kernels> blocked{BackendKind::kBlocked,
+                                                    "blocked(avx512)", kPanelWidth};
+    return kind == BackendKind::kSimd ? static_cast<const SubstrateBackend&>(simd)
+                                      : blocked;
+  }
+#elif defined(__AVX2__)
+  if (runtime_simd_ok()) {
+    static const BackendImpl<Avx2Kernels> simd{BackendKind::kSimd, "simd(avx2)",
+                                               1};
+    static const BackendImpl<Avx2Kernels> blocked{BackendKind::kBlocked,
+                                                  "blocked(avx2)", kPanelWidth};
+    return kind == BackendKind::kSimd ? static_cast<const SubstrateBackend&>(simd)
+                                      : blocked;
+  }
+#endif
+  static const BackendImpl<U64x4Kernels> simd{BackendKind::kSimd, "simd(u64x4)",
+                                              1};
+  static const BackendImpl<U64x4Kernels> blocked{BackendKind::kBlocked,
+                                                 "blocked(u64x4)", kPanelWidth};
+  (void)width;
+  return kind == BackendKind::kSimd ? static_cast<const SubstrateBackend&>(simd)
+                                    : blocked;
+}
+
+}  // namespace
+
+const SubstrateBackend& backend(BackendKind k) {
+  switch (k) {
+    case BackendKind::kScalar: {
+      static const BackendImpl<ScalarKernels> scalar{BackendKind::kScalar,
+                                                     "scalar", 1};
+      return scalar;
+    }
+    case BackendKind::kSimd:
+      return simd_impl(BackendKind::kSimd, 1);
+    case BackendKind::kBlocked:
+      return simd_impl(BackendKind::kBlocked, kPanelWidth);
+  }
+  throw std::invalid_argument("unknown BackendKind");
+}
+
+const char* backend_name(BackendKind k) { return backend(k).name(); }
+
+BackendKind parse_backend(std::string_view name) {
+  if (name == "scalar") return BackendKind::kScalar;
+  if (name == "simd") return BackendKind::kSimd;
+  if (name == "blocked") return BackendKind::kBlocked;
+  throw std::invalid_argument("unknown backend '" + std::string(name) +
+                              "' (expected scalar|simd|blocked)");
+}
+
+std::vector<BackendKind> all_backends() {
+  return {BackendKind::kScalar, BackendKind::kSimd, BackendKind::kBlocked};
+}
+
+bool simd_active() { return runtime_simd_ok(); }
+
+BackendKind default_backend() {
+  // Falls back (with a warning) instead of throwing: this runs from default
+  // member initializers, where an unparsable env var must not terminate.
+  static const BackendKind kind = [] {
+    const std::string s = env_str("QGTC_BACKEND", "blocked");
+    try {
+      return parse_backend(s);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "QGTC_BACKEND ignored: %s\n", e.what());
+      return BackendKind::kBlocked;
+    }
+  }();
+  return kind;
+}
+
+}  // namespace qgtc::tcsim

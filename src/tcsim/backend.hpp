@@ -1,0 +1,97 @@
+// Substrate backend registry (see DESIGN.md, "Backend registry").
+//
+// The 1-bit BMM substrate is the single atomic primitive everything in QGTC
+// composes from (paper §2.3, Eq. 7). This header separates the *op surface*
+// the kernels program against from the *substrate* that executes the
+// 8x8x128 tile contract, so the same kernel code can run on different
+// micro-kernel implementations selected at runtime:
+//
+//   kScalar   the reference path: per-tile u64 AND/XOR + std::popcount,
+//             exactly the semantics of tcsim::dot128. One A-fragment load
+//             per output tile (no cross-tile reuse).
+//   kSimd     vectorised AND+popcount over the full 8x8x128 tile (AVX-512
+//             VPOPCNTDQ or AVX2 nibble-LUT when compiled in AND supported by
+//             the running CPU; otherwise an unrolled u64x4 fallback). Same
+//             per-tile A loads as kScalar — it isolates the micro-kernel win.
+//   kBlocked  the same best-available tile micro-kernel, but the panel loop
+//             keeps a decoded A fragment resident across a block of N tiles
+//             (generalising §4.4's cross-tile reuse to every MM in the
+//             stack). This is the default production backend.
+//
+// All backends produce bit-identical results: accumulation is exact integer
+// popcount arithmetic in u64 lanes, truncated to the hardware's uint32-wrap
+// contract at flush.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc::tcsim {
+
+enum class BackendKind { kScalar = 0, kSimd = 1, kBlocked = 2 };
+
+/// Decoded A-operand tile (8 rows x 128 bits) in backend-specific layout.
+/// Sized for the widest layout (8 rows broadcast to 512-bit vectors).
+struct alignas(64) AFragment {
+  u64 lanes[kTileM * 8];
+};
+
+/// u64 accumulator lanes per output tile. Opaque layout — only the backend
+/// that filled an accumulator block may flush it. Sized for the widest
+/// layout (AVX2/AVX-512 keep per-lane partial sums: 128 u64 per tile).
+inline constexpr i64 kTileAccLanes = 128;
+
+/// A substrate micro-kernel implementation. Stateless and shared across
+/// threads: all mutable state lives in caller-provided scratch (the
+/// ExecutionContext workspace arena), so one registry instance serves every
+/// thread of every context.
+class SubstrateBackend {
+ public:
+  virtual ~SubstrateBackend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Output-column tiles the kernel loop should keep resident per decoded
+  /// A fragment (the §4.4 cross-tile blocking factor; 1 = reload A per tile).
+  [[nodiscard]] virtual i64 panel_width() const = 0;
+
+  /// Decode one 8x128 A tile (rows `a_stride` u32 apart) into `frag`.
+  virtual void load_a(AFragment& frag, const u32* a, i64 a_stride) const = 0;
+
+  /// acc[kTileAccLanes] += (A_frag x B_tile) << shift — one 8x8x128 tile op.
+  /// B columns are `b_stride` u32 apart. `use_xor` selects the +-1 binary
+  /// network combine (BmmaOp::kXor) instead of AND.
+  virtual void mma(u64* acc, const AFragment& frag, const u32* b, i64 b_stride,
+                   int shift, bool use_xor) const = 0;
+
+  /// out[8x8, rows `out_stride` i32 apart] (+)= acc, truncating each element
+  /// to the substrate's exact uint32-wrap contract.
+  virtual void flush(i32* out, i64 out_stride, const u64* acc) const = 0;
+};
+
+/// Registry lookup. Instances are process-lifetime singletons; kSimd and
+/// kBlocked resolve their micro-kernel once at first use from compile-time
+/// availability + runtime CPU feature detection.
+[[nodiscard]] const SubstrateBackend& backend(BackendKind k);
+
+/// Display name ("scalar", "simd", "blocked").
+[[nodiscard]] const char* backend_name(BackendKind k);
+
+/// Parse a backend name; throws std::invalid_argument on unknown names.
+[[nodiscard]] BackendKind parse_backend(std::string_view name);
+
+/// All registered kinds, in registry order.
+[[nodiscard]] std::vector<BackendKind> all_backends();
+
+/// True when kSimd/kBlocked resolved to vector micro-kernels on this CPU
+/// (false = the portable u64 fallback is active).
+[[nodiscard]] bool simd_active();
+
+/// Process default: QGTC_BACKEND env var ("scalar" | "simd" | "blocked") or
+/// kBlocked. Read once.
+[[nodiscard]] BackendKind default_backend();
+
+}  // namespace qgtc::tcsim

@@ -1,0 +1,91 @@
+#include "tcsim/exec_context.hpp"
+
+namespace qgtc::tcsim {
+
+MatrixI32& Workspace::padded_acc(i64 rows, i64 cols) {
+  if (padded_acc_.rows() != rows || padded_acc_.cols() != cols) {
+    padded_acc_ = MatrixI32(rows, cols, 0);
+  } else {
+    padded_acc_.fill(0);
+  }
+  return padded_acc_;
+}
+
+std::vector<i64>& Workspace::k_list() {
+  k_list_.clear();
+  return k_list_;
+}
+
+std::vector<std::vector<i64>>& Workspace::k_lists(i64 n) {
+  k_lists_.resize(static_cast<std::size_t>(n));
+  for (auto& l : k_lists_) l.clear();
+  return k_lists_;
+}
+
+u64* Workspace::acc_lanes(i64 lanes) {
+  if (static_cast<i64>(acc_lanes_.size()) < lanes) {
+    acc_lanes_.resize(static_cast<std::size_t>(lanes));
+  }
+  return acc_lanes_.data();
+}
+
+std::size_t Workspace::footprint_bytes() const {
+  std::size_t b = static_cast<std::size_t>(padded_acc_.size()) * sizeof(i32) +
+                  k_list_.capacity() * sizeof(i64) +
+                  acc_lanes_.size() * sizeof(u64);
+  for (const auto& l : k_lists_) b += l.capacity() * sizeof(i64);
+  return b;
+}
+
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+ExecutionContext::ExecutionContext()
+    : backend_(&qgtc::tcsim::backend(default_backend())), private_(false) {}
+
+ExecutionContext::ExecutionContext(BackendKind kind, bool private_counters)
+    : backend_(&qgtc::tcsim::backend(kind)), private_(private_counters) {}
+
+void ExecutionContext::note(const Counters& delta) const {
+  if (!private_) {
+    thread_counters() += delta;
+    return;
+  }
+  bmma_ops_.fetch_add(delta.bmma_ops, std::memory_order_relaxed);
+  frag_loads_a_.fetch_add(delta.frag_loads_a, std::memory_order_relaxed);
+  frag_loads_b_.fetch_add(delta.frag_loads_b, std::memory_order_relaxed);
+  frag_stores_.fetch_add(delta.frag_stores, std::memory_order_relaxed);
+  tiles_jumped_.fetch_add(delta.tiles_jumped, std::memory_order_relaxed);
+}
+
+Counters ExecutionContext::counters() const {
+  if (!private_) return snapshot_counters();
+  Counters c;
+  c.bmma_ops = bmma_ops_.load(std::memory_order_relaxed);
+  c.frag_loads_a = frag_loads_a_.load(std::memory_order_relaxed);
+  c.frag_loads_b = frag_loads_b_.load(std::memory_order_relaxed);
+  c.frag_stores = frag_stores_.load(std::memory_order_relaxed);
+  c.tiles_jumped = tiles_jumped_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ExecutionContext::reset_counters() {
+  if (!private_) {
+    qgtc::tcsim::reset_counters();
+    return;
+  }
+  bmma_ops_.store(0, std::memory_order_relaxed);
+  frag_loads_a_.store(0, std::memory_order_relaxed);
+  frag_loads_b_.store(0, std::memory_order_relaxed);
+  frag_stores_.store(0, std::memory_order_relaxed);
+  tiles_jumped_.store(0, std::memory_order_relaxed);
+}
+
+const ExecutionContext& ExecutionContext::default_context() {
+  static const ExecutionContext ctx;
+  return ctx;
+}
+
+}  // namespace qgtc::tcsim

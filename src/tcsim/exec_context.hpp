@@ -1,0 +1,105 @@
+// ExecutionContext — the object threaded through all four layers
+// (tcsim -> kernels -> engine -> api; see DESIGN.md, "Execution contexts").
+//
+// A context bundles the three pieces of substrate state a kernel call needs:
+//
+//   * the SubstrateBackend that executes 8x8x128 tile ops,
+//   * access to the per-thread workspace arena (padded accumulators,
+//     surviving-K-tile lists, tile accumulator lanes — reused across calls
+//     instead of heap-allocated per kernel),
+//   * a counter sink: either this context's private counter block (engine
+//     worker contexts, so per-batch-stream accounting merges
+//     deterministically) or the process-wide per-thread tcsim counters
+//     (the default context — unchanged legacy semantics).
+//
+// Contexts are cheap, immovable, and safe to share across threads: counter
+// notes are atomic, the backend is a stateless singleton, and workspaces are
+// keyed by OS thread, not by context.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "tcsim/backend.hpp"
+#include "tcsim/wmma.hpp"
+
+namespace qgtc::tcsim {
+
+/// Per-OS-thread scratch arena. Each named slot is a single-checkout buffer:
+/// a kernel checks it out, uses it within the call, and the next call on the
+/// same thread reuses the storage (capacity only grows). Slots are distinct
+/// per use-site so nested kernel calls on one thread never alias.
+class Workspace {
+ public:
+  /// Zeroed padded accumulator of at least rows x cols (reallocates only on
+  /// shape growth/change; the engine's same-shaped batches hit the cache).
+  MatrixI32& padded_acc(i64 rows, i64 cols);
+
+  /// Cleared surviving-K-tile list (per row block, inside parallel loops).
+  std::vector<i64>& k_list();
+
+  /// `n` cleared K-tile lists (one per row block, shared across the N sweep).
+  std::vector<std::vector<i64>>& k_lists(i64 n);
+
+  /// Uninitialised, 64-byte-aligned u64 tile-accumulator scratch.
+  u64* acc_lanes(i64 lanes);
+
+  /// Bytes currently retained by this thread's arena.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  MatrixI32 padded_acc_;
+  std::vector<i64> k_list_;
+  std::vector<std::vector<i64>> k_lists_;
+  AlignedVector<u64> acc_lanes_;
+};
+
+/// This OS thread's arena (created on first use, lives for the thread).
+Workspace& thread_workspace();
+
+class ExecutionContext {
+ public:
+  /// Default context: process default backend, counters routed to the global
+  /// per-thread tcsim counter registry (legacy snapshot semantics).
+  ExecutionContext();
+
+  /// Context with an explicit backend. With `private_counters` (the engine's
+  /// per-worker mode) substrate accounting lands in this context's own
+  /// atomic counter block instead of the global registry.
+  explicit ExecutionContext(BackendKind kind, bool private_counters = true);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  [[nodiscard]] const SubstrateBackend& backend() const { return *backend_; }
+  [[nodiscard]] BackendKind backend_kind() const { return backend_->kind(); }
+  [[nodiscard]] bool has_private_counters() const { return private_; }
+
+  /// The calling thread's workspace arena.
+  [[nodiscard]] Workspace& workspace() const { return thread_workspace(); }
+
+  /// Bulk substrate accounting (one note per kernel row-block). Thread-safe.
+  void note(const Counters& delta) const;
+
+  /// Counters attributed to this context (private mode) or the global
+  /// all-thread snapshot (default mode).
+  [[nodiscard]] Counters counters() const;
+
+  /// Zero this context's counters (private mode) or the global registry.
+  void reset_counters();
+
+  /// The process-wide default context (used when kernel callers pass none).
+  static const ExecutionContext& default_context();
+
+ private:
+  const SubstrateBackend* backend_;
+  bool private_;
+  mutable std::atomic<u64> bmma_ops_{0};
+  mutable std::atomic<u64> frag_loads_a_{0};
+  mutable std::atomic<u64> frag_loads_b_{0};
+  mutable std::atomic<u64> frag_stores_{0};
+  mutable std::atomic<u64> tiles_jumped_{0};
+};
+
+}  // namespace qgtc::tcsim

@@ -1,10 +1,14 @@
-// Cross-checks the optimised tile accumulator (detail::TileAcc — the path
-// the kernels actually run) against the semantic reference tcsim::bmma_sync,
-// including shift weighting, uint32 wrap at extreme shifts, and XOR mode.
+// Cross-checks every substrate backend's tile ops (load_a / mma / flush —
+// the path the kernels actually run) against the semantic reference
+// tcsim::bmma_sync, including shift weighting, uint32 wrap at extreme
+// shifts, XOR mode, strided operands and strided flush.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+
 #include "common/rng.hpp"
-#include "kernels/tile_ops.hpp"
+#include "tcsim/backend.hpp"
 #include "tcsim/wmma.hpp"
 
 namespace qgtc {
@@ -39,96 +43,107 @@ std::array<i32, 64> reference_tile(const TilePair& t, tcsim::BmmaOp op) {
   return r;
 }
 
-TEST(TileOps, MatchesWmmaAnd) {
+/// One backend tile op: reset lanes, decode A, mma, flush into `out`.
+std::array<i32, 64> backend_tile(const tcsim::SubstrateBackend& be,
+                                 const TilePair& t, int shift, bool use_xor,
+                                 i32 out_fill = 0) {
+  alignas(64) u64 acc[tcsim::kTileAccLanes];
+  std::memset(acc, 0, sizeof(acc));
+  tcsim::AFragment frag;
+  be.load_a(frag, t.a.data(), t.stride);
+  be.mma(acc, frag, t.b.data(), t.stride, shift, use_xor);
+  std::array<i32, 64> out;
+  out.fill(out_fill);
+  be.flush(out.data(), kTileN, acc);
+  return out;
+}
+
+class TileOpsAllBackends
+    : public ::testing::TestWithParam<tcsim::BackendKind> {};
+
+TEST_P(TileOpsAllBackends, MatchesWmmaAnd) {
+  const auto& be = tcsim::backend(GetParam());
   for (u64 seed = 0; seed < 8; ++seed) {
     const TilePair t = random_tiles(seed);
-    detail::TileAcc acc;
-    acc.reset();
-    acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, /*shift=*/0);
-    std::array<i32, 64> got{};
-    acc.flush(got.data());
-    EXPECT_EQ(got, reference_tile(t, tcsim::BmmaOp::kAnd)) << "seed " << seed;
+    EXPECT_EQ(backend_tile(be, t, 0, false),
+              reference_tile(t, tcsim::BmmaOp::kAnd))
+        << be.name() << " seed " << seed;
   }
 }
 
-TEST(TileOps, MatchesWmmaXor) {
+TEST_P(TileOpsAllBackends, MatchesWmmaXor) {
+  const auto& be = tcsim::backend(GetParam());
   for (u64 seed = 100; seed < 106; ++seed) {
     const TilePair t = random_tiles(seed);
-    detail::TileAcc acc;
-    acc.reset();
-    acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, /*shift=*/0,
-            /*use_xor=*/true);
-    std::array<i32, 64> got{};
-    acc.flush(got.data());
-    EXPECT_EQ(got, reference_tile(t, tcsim::BmmaOp::kXor)) << "seed " << seed;
+    EXPECT_EQ(backend_tile(be, t, 0, true),
+              reference_tile(t, tcsim::BmmaOp::kXor))
+        << be.name() << " seed " << seed;
   }
 }
 
-TEST(TileOps, ShiftWeighting) {
+TEST_P(TileOpsAllBackends, ShiftWeighting) {
+  const auto& be = tcsim::backend(GetParam());
   const TilePair t = random_tiles(7);
   const auto base = reference_tile(t, tcsim::BmmaOp::kAnd);
-  detail::TileAcc acc;
-  acc.reset();
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, /*shift=*/5);
-  std::array<i32, 64> got{};
-  acc.flush(got.data());
+  const auto got = backend_tile(be, t, /*shift=*/5, false);
   for (int e = 0; e < 64; ++e) {
-    EXPECT_EQ(got[static_cast<std::size_t>(e)], base[static_cast<std::size_t>(e)] << 5);
+    EXPECT_EQ(got[static_cast<std::size_t>(e)],
+              base[static_cast<std::size_t>(e)] << 5);
   }
 }
 
-TEST(TileOps, AccumulatesAcrossCalls) {
+TEST_P(TileOpsAllBackends, AccumulatesAcrossMmaCalls) {
+  const auto& be = tcsim::backend(GetParam());
   const TilePair t = random_tiles(8);
   const auto base = reference_tile(t, tcsim::BmmaOp::kAnd);
-  detail::TileAcc acc;
-  acc.reset();
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, 0);
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, 1);
+  alignas(64) u64 acc[tcsim::kTileAccLanes];
+  std::memset(acc, 0, sizeof(acc));
+  tcsim::AFragment frag;
+  be.load_a(frag, t.a.data(), t.stride);
+  be.mma(acc, frag, t.b.data(), t.stride, /*shift=*/0, false);
+  be.mma(acc, frag, t.b.data(), t.stride, /*shift=*/1, false);
   std::array<i32, 64> got{};
-  acc.flush(got.data());
+  be.flush(got.data(), kTileN, acc);
   for (int e = 0; e < 64; ++e) {
-    EXPECT_EQ(got[static_cast<std::size_t>(e)], base[static_cast<std::size_t>(e)] * 3);
+    EXPECT_EQ(got[static_cast<std::size_t>(e)],
+              base[static_cast<std::size_t>(e)] * 3);
   }
 }
 
-TEST(TileOps, FlushAddsIntoExisting) {
+TEST_P(TileOpsAllBackends, FlushAddsIntoExisting) {
+  const auto& be = tcsim::backend(GetParam());
   const TilePair t = random_tiles(9);
   const auto base = reference_tile(t, tcsim::BmmaOp::kAnd);
-  detail::TileAcc acc;
-  acc.reset();
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, 0);
-  std::array<i32, 64> got{};
-  got.fill(10);
-  acc.flush(got.data());
+  const auto got = backend_tile(be, t, 0, false, /*out_fill=*/10);
   for (int e = 0; e < 64; ++e) {
-    EXPECT_EQ(got[static_cast<std::size_t>(e)], base[static_cast<std::size_t>(e)] + 10);
+    EXPECT_EQ(got[static_cast<std::size_t>(e)],
+              base[static_cast<std::size_t>(e)] + 10);
   }
 }
 
-TEST(TileOps, ExtremeShiftContributesZeroMod32) {
+TEST_P(TileOpsAllBackends, ExtremeShiftContributesZeroMod32) {
   // A shift >= 32 must contribute exactly 0 to the uint32-wrapped result —
   // the defined-wrap contract the 31-bit configurations rely on.
+  const auto& be = tcsim::backend(GetParam());
   const TilePair t = random_tiles(10);
-  detail::TileAcc acc;
-  acc.reset();
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, /*shift=*/40);
-  acc.mma(t.a.data(), t.stride, t.b.data(), t.stride, /*shift=*/60);
+  alignas(64) u64 acc[tcsim::kTileAccLanes];
+  std::memset(acc, 0, sizeof(acc));
+  tcsim::AFragment frag;
+  be.load_a(frag, t.a.data(), t.stride);
+  be.mma(acc, frag, t.b.data(), t.stride, /*shift=*/40, false);
+  be.mma(acc, frag, t.b.data(), t.stride, /*shift=*/60, false);
   std::array<i32, 64> got{};
-  acc.flush(got.data());
+  be.flush(got.data(), kTileN, acc);
   for (const i32 v : got) EXPECT_EQ(v, 0);
 }
 
-TEST(TileOps, StridedTiles) {
+TEST_P(TileOpsAllBackends, StridedTiles) {
   // Tiles embedded in a wider matrix (stride > 4 words) must read only their
   // own 4 words per line.
+  const auto& be = tcsim::backend(GetParam());
   const TilePair wide = random_tiles(11, /*stride=*/9);
-  detail::TileAcc acc;
-  acc.reset();
-  acc.mma(wide.a.data(), wide.stride, wide.b.data(), wide.stride, 0);
-  std::array<i32, 64> got{};
-  acc.flush(got.data());
+  const auto got = backend_tile(be, wide, 0, false);
 
-  // Build compacted copies and compare.
   TilePair tight = wide;
   tight.stride = kTileKWords;
   tight.a.assign(static_cast<std::size_t>(kTileM * kTileKWords), 0);
@@ -141,8 +156,48 @@ TEST(TileOps, StridedTiles) {
           wide.b[static_cast<std::size_t>(r * wide.stride + w)];
     }
   }
-  EXPECT_EQ(got, reference_tile(tight, tcsim::BmmaOp::kAnd));
+  EXPECT_EQ(got, backend_tile(be, tight, 0, false));
 }
+
+TEST_P(TileOpsAllBackends, StridedFlush) {
+  // flush with an output stride wider than the tile must only touch the
+  // 8x8 window (the kernels flush straight into padded C rows).
+  const auto& be = tcsim::backend(GetParam());
+  const TilePair t = random_tiles(12);
+  const auto base = reference_tile(t, tcsim::BmmaOp::kAnd);
+
+  alignas(64) u64 acc[tcsim::kTileAccLanes];
+  std::memset(acc, 0, sizeof(acc));
+  tcsim::AFragment frag;
+  be.load_a(frag, t.a.data(), t.stride);
+  be.mma(acc, frag, t.b.data(), t.stride, 0, false);
+
+  const i64 out_stride = 13;
+  std::vector<i32> out(static_cast<std::size_t>(kTileM * out_stride), -7);
+  be.flush(out.data(), out_stride, acc);
+  for (int i = 0; i < kTileM; ++i) {
+    for (i64 j = 0; j < out_stride; ++j) {
+      const i32 v = out[static_cast<std::size_t>(i * out_stride + j)];
+      if (j < kTileN) {
+        EXPECT_EQ(v, base[static_cast<std::size_t>(i * kTileN + j)] - 7);
+      } else {
+        EXPECT_EQ(v, -7) << "flush wrote outside the 8x8 window";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, TileOpsAllBackends,
+                         ::testing::Values(tcsim::BackendKind::kScalar,
+                                           tcsim::BackendKind::kSimd,
+                                           tcsim::BackendKind::kBlocked),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case tcsim::BackendKind::kScalar: return "scalar";
+                             case tcsim::BackendKind::kSimd: return "simd";
+                             default: return "blocked";
+                           }
+                         });
 
 }  // namespace
 }  // namespace qgtc
