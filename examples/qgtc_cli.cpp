@@ -4,10 +4,13 @@
 //   qgtc_cli --dataset ogbn-arxiv --model gcn --bits 4 \
 //            [--partitions N | --autotune] [--batch B] [--layers L]
 //            [--hidden H] [--rounds R] [--backend scalar|simd|blocked]
-//            [--threads T] [--save-dataset file.bin] [--load-dataset file.bin]
+//            [--threads T] [--sparse-adj|--dense-adj]
+//            [--save-dataset file.bin] [--load-dataset file.bin]
 //
 // Prints epoch latency for the quantized and fp32 paths, substrate
-// counters, zero-tile stats and transfer accounting.
+// counters, zero-tile stats and transfer accounting (including the per-run
+// nonzero-tile ratio and adjacency bytes, so the tile-sparse path is
+// inspectable end-to-end). --autotune enables --sparse-adj automatically.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -29,6 +32,8 @@ struct Args {
   qgtc::i64 hidden = 16;
   int rounds = 2;
   bool autotune = false;
+  bool sparse_adj = false;
+  bool dense_adj = false;
   std::string backend;  // empty = engine default (QGTC_BACKEND or blocked)
   int threads = 0;      // 0 = unset (engine default, or autotuned)
   std::string save_path;
@@ -38,7 +43,7 @@ struct Args {
 void usage() {
   std::cout << "usage: qgtc_cli [--dataset NAME] [--model gcn|gin]\n"
                "  [--bits B] [--partitions N] [--batch B] [--layers L]\n"
-               "  [--hidden H] [--rounds R] [--autotune]\n"
+               "  [--hidden H] [--rounds R] [--autotune] [--sparse-adj|--dense-adj]\n"
                "  [--backend scalar|simd|blocked] [--threads T]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
@@ -61,12 +66,17 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--hidden") a.hidden = std::atoll(next());
     else if (flag == "--rounds") a.rounds = std::atoi(next());
     else if (flag == "--autotune") a.autotune = true;
+    else if (flag == "--sparse-adj") a.sparse_adj = true;
+    else if (flag == "--dense-adj") a.dense_adj = true;
     else if (flag == "--backend") a.backend = next();
     else if (flag == "--threads") a.threads = std::atoi(next());
     else if (flag == "--save-dataset") a.save_path = next();
     else if (flag == "--load-dataset") a.load_path = next();
     else if (flag == "--help" || flag == "-h") { usage(); return false; }
     else throw std::invalid_argument("unknown flag: " + flag);
+  }
+  if (a.sparse_adj && a.dense_adj) {
+    throw std::invalid_argument("--sparse-adj and --dense-adj are mutually exclusive");
   }
   return true;
 }
@@ -109,14 +119,20 @@ int main(int argc, char** argv) {
   cfg.num_partitions = args.partitions;
   cfg.batch_size = args.batch;
   if (args.autotune) {
-    const auto tuned = core::generate_runtime_config(ds.spec, cfg.model);
+    const auto tuned = core::generate_runtime_config(
+        ds.spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj);
     core::apply(tuned, cfg);
     std::cout << "Autotuned: " << cfg.num_partitions << " partitions, batch "
               << cfg.batch_size << ", " << cfg.inter_batch_threads
-              << " inter-batch threads (~"
-              << tuned.batch_bytes_estimate / 1000000 << " MB/batch)\n";
+              << " inter-batch threads, "
+              << (cfg.sparse_adj ? "tile-sparse" : "dense")
+              << " adjacency (~" << tuned.batch_bytes_estimate / 1000000
+              << " MB/batch)\n";
   }
-  // Explicit flags beat both the defaults and the autotuner.
+  // Explicit flags beat both the defaults and the autotuner (--dense-adj
+  // forces the dense+flag-jump baseline even under --autotune).
+  if (args.sparse_adj) cfg.sparse_adj = true;
+  if (args.dense_adj) cfg.sparse_adj = false;
   if (!args.backend.empty()) {
     try {
       cfg.backend = tcsim::parse_backend(args.backend);
@@ -137,6 +153,8 @@ int main(int argc, char** argv) {
 
   core::TablePrinter table({"metric", "value"});
   table.add_row({"backend", q.backend});
+  table.add_row({"adjacency format",
+                 cfg.sparse_adj ? "tile-sparse (CSR)" : "dense + jump map"});
   table.add_row({"inter-batch threads", std::to_string(q.inter_batch_threads)});
   table.add_row({"batches", std::to_string(q.batches)});
   table.add_row({"nodes/epoch", std::to_string(q.nodes)});
@@ -147,6 +165,8 @@ int main(int argc, char** argv) {
   table.add_row({"tiles jumped/epoch", std::to_string(q.tiles_jumped)});
   table.add_row({"non-zero tile ratio",
                  core::TablePrinter::fmt_pct(engine.nonzero_tile_ratio(), 1)});
+  table.add_row({"adjacency MB shipped",
+                 core::TablePrinter::fmt(static_cast<double>(t.adj_bytes) / 1e6, 2)});
   table.add_row({"packed transfer MB",
                  core::TablePrinter::fmt(static_cast<double>(t.packed_bytes) / 1e6, 1)});
   table.add_row({"dense transfer MB",

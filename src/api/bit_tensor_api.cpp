@@ -55,6 +55,15 @@ MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
   return bitmm_to_int(a.planes(), b.planes(), opt);
 }
 
+MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
+                    const BmmOptions& opt) {
+  QGTC_CHECK(b.planes().layout() == BitLayout::kColMajorK,
+             "bitMM2Int: B must be a right-side BitTensor");
+  // The sparse operand is 1-bit by construction; cross-tile reduction keeps
+  // each stored tile resident across every B bit-plane (§4.4).
+  return aggregate_1bit(a, b.planes(), ReuseMode::kCrossTile, opt);
+}
+
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
                     const BmmOptions& opt) {
   QGTC_CHECK(a.planes().layout() == BitLayout::kRowMajorK,
@@ -75,6 +84,13 @@ BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
 }
 
 MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
+                    const tcsim::ExecutionContext& ctx, const BmmOptions& opt) {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx;
+  return bitMM2Int(a, b, pinned);
+}
+
+MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
                     const tcsim::ExecutionContext& ctx, const BmmOptions& opt) {
   BmmOptions pinned = opt;
   pinned.ctx = &ctx;

@@ -53,6 +53,13 @@ class BitTensor {
 MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
                     const BmmOptions& opt = {});
 
+/// bitMM2Int with a structurally sparse left operand: the 1-bit adjacency
+/// rides the tile-CSR path (only stored tiles execute, jumping free) while
+/// the right operand stays a dense bit-Tensor — the paper's adjacency x
+/// embedding split, with sparsity made structural.
+MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
+                    const BmmOptions& opt = {});
+
 /// bitMM2Bit: C = A x B requantized to `bit_c` bits, returned as a left-side
 /// BitTensor ready for the next MM (hidden-layer chaining, §4.5).
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
@@ -62,6 +69,9 @@ BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
 /// into `ctx`'s counters (opt.ctx, if set, is overridden). This is the knob
 /// a framework integration exposes per stream/session.
 MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
+                    const tcsim::ExecutionContext& ctx,
+                    const BmmOptions& opt = {});
+MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
                     const tcsim::ExecutionContext& ctx,
                     const BmmOptions& opt = {});
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,

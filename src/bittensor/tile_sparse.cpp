@@ -1,0 +1,107 @@
+#include "bittensor/tile_sparse.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tcsim/wmma.hpp"
+
+namespace qgtc {
+
+TileSparseBitMatrix::TileSparseBitMatrix(i64 rows, i64 cols)
+    : rows_(rows),
+      cols_(cols),
+      padded_rows_(pad8(rows)),
+      padded_cols_(pad128(cols)),
+      tiles_m_(pad8(rows) / kTileM),
+      tiles_k_(pad128(cols) / kTileK) {
+  QGTC_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+  row_ptr_.assign(static_cast<std::size_t>(tiles_m_) + 1, 0);
+}
+
+u32* TileSparseBitMatrix::append_tile(i64 tm, i64 tk) {
+  QGTC_CHECK(!finalized_, "append_tile after finalize");
+  QGTC_CHECK(tm >= 0 && tm < tiles_m_ && tk >= 0 && tk < tiles_k_,
+             "tile coordinates out of range");
+  QGTC_CHECK(tm > open_tm_ || (tm == open_tm_ && tk > open_tk_),
+             "tiles must be appended in (tm, tk) order");
+  open_tm_ = tm;
+  open_tk_ = tk;
+  col_idx_.push_back(static_cast<u32>(tk));
+  payload_.resize(payload_.size() + static_cast<std::size_t>(kTileWords), 0u);
+  row_ptr_[static_cast<std::size_t>(tm) + 1] = static_cast<u32>(nnz_tiles());
+  return payload_.data() + (nnz_tiles() - 1) * kTileWords;
+}
+
+void TileSparseBitMatrix::finalize() {
+  // Ordered appends leave untouched rows at 0; a forward prefix-max turns
+  // the per-row end marks into proper CSR offsets.
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    row_ptr_[i] = std::max(row_ptr_[i], row_ptr_[i - 1]);
+  }
+  finalized_ = true;
+}
+
+TileSparseBitMatrix TileSparseBitMatrix::from_bit_matrix(const BitMatrix& dense) {
+  QGTC_CHECK(dense.layout() == BitLayout::kRowMajorK,
+             "tile-sparse matrices are defined on the A-side (kRowMajorK) layout");
+  TileSparseBitMatrix out(dense.rows(), dense.cols());
+  // A PAD128-row dense operand has more row tiles than pad8 implies; adopt
+  // the dense matrix's actual padding so the tile grids agree.
+  out.padded_rows_ = dense.padded_rows();
+  out.tiles_m_ = dense.padded_rows() / kTileM;
+  out.row_ptr_.assign(static_cast<std::size_t>(out.tiles_m_) + 1, 0);
+  const i64 stride = dense.k_words();
+  for (i64 tm = 0; tm < out.tiles_m_; ++tm) {
+    const u32* block = dense.row_words(tm * kTileM);
+    for (i64 tk = 0; tk < out.tiles_k_; ++tk) {
+      if (tcsim::tile_is_zero(block + tk * kTileKWords, stride)) continue;
+      u32* dst = out.append_tile(tm, tk);
+      for (int r = 0; r < kTileM; ++r) {
+        std::memcpy(dst + r * kTileKWords, block + r * stride + tk * kTileKWords,
+                    kTileKWords * sizeof(u32));
+      }
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+BitMatrix TileSparseBitMatrix::to_bit_matrix() const {
+  QGTC_CHECK(finalized_, "to_bit_matrix() before finalize()");
+  BitMatrix out(rows_, cols_, BitLayout::kRowMajorK, PadPolicy::kTile8);
+  QGTC_CHECK(out.padded_rows() == padded_rows_,
+             "densify only supports the PAD8 row padding this layout uses");
+  const i64 stride = out.k_words();
+  for (i64 tm = 0; tm < tiles_m_; ++tm) {
+    for (i64 t = row_begin(tm); t < row_end(tm); ++t) {
+      const i64 tk = tile_col(t);
+      const u32* src = tile_words(t);
+      u32* block = out.row_words(tm * kTileM);
+      for (int r = 0; r < kTileM; ++r) {
+        std::memcpy(block + r * stride + tk * kTileKWords, src + r * kTileKWords,
+                    kTileKWords * sizeof(u32));
+      }
+    }
+  }
+  return out;
+}
+
+bool TileSparseBitMatrix::get(i64 r, i64 c) const {
+  // Mid-build row_ptr holds raw per-row end marks, not CSR offsets — a
+  // row_begin/row_end read there is an invalid range.
+  QGTC_CHECK(finalized_, "get() before finalize()");
+  QGTC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "bit index out of range");
+  const i64 tm = r / kTileM;
+  const i64 tk = c / kTileK;
+  const u32* lo = col_idx_.data() + row_begin(tm);
+  const u32* hi = col_idx_.data() + row_end(tm);
+  const u32* it = std::lower_bound(lo, hi, static_cast<u32>(tk));
+  if (it == hi || *it != static_cast<u32>(tk)) return false;
+  const i64 t = it - col_idx_.data();
+  const i64 in_tile_col = c % kTileK;
+  const u32 word =
+      tile_words(t)[(r % kTileM) * kTileKWords + in_tile_col / kWordBits];
+  return ((word >> (in_tile_col % kWordBits)) & 1u) != 0;
+}
+
+}  // namespace qgtc

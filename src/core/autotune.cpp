@@ -8,12 +8,13 @@ namespace qgtc::core {
 
 TunedConfig generate_runtime_config(const DatasetSpec& spec,
                                     const gnn::GnnConfig& model,
-                                    const DeviceProfile& dev) {
+                                    const DeviceProfile& dev, bool sparse_adj) {
   QGTC_CHECK(spec.num_nodes > 0, "dataset spec has no nodes");
   QGTC_CHECK(dev.target_partition_nodes > 0 && dev.parallel_units > 0 &&
                  dev.memory_bytes > 0,
              "device profile fields must be positive");
   TunedConfig t;
+  t.sparse_adj = sparse_adj;
 
   // Partition count: aim for target_partition_nodes per subgraph, clamped to
   // a sane range (at least one partition per parallel unit so batching can
@@ -30,10 +31,19 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
   const i64 avg_part_nodes = ceil_div(spec.num_nodes, t.num_partitions);
   const i64 widest_dim =
       std::max({spec.feature_dim, model.hidden_dim, model.out_dim});
+  // The tile-sparse adjacency's block-diagonal batches store ~one dense
+  // partition block per subgraph instead of the full nb x nb plane — that is
+  // what lets batch sizes grow past the dense layout's memory wall. Batch
+  // sizing must follow whichever layout the run will actually use.
+  const auto adj_bits_estimate = [&](i64 parts_in_batch, i64 nb) {
+    return t.sparse_adj ? parts_in_batch * pad8(avg_part_nodes) *
+                              pad128(avg_part_nodes)
+                        : pad8(nb) * pad128(nb);
+  };
   i64 batch = 1;
   while (batch < 2 * dev.parallel_units) {
     const i64 nb = avg_part_nodes * (batch + 1);
-    const i64 adj_bits = pad8(nb) * pad128(nb);
+    const i64 adj_bits = adj_bits_estimate(batch + 1, nb);
     const i64 act_bits = pad8(nb) * pad128(widest_dim) *
                          static_cast<i64>(model.feat_bits);
     const i64 bytes = (adj_bits + act_bits) / 8;
@@ -44,7 +54,7 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
 
   const i64 nb = avg_part_nodes * t.batch_size;
   t.batch_bytes_estimate =
-      (pad8(nb) * pad128(nb) +
+      (adj_bits_estimate(t.batch_size, nb) +
        pad8(nb) * pad128(widest_dim) * static_cast<i64>(model.feat_bits)) /
       8;
 
@@ -62,6 +72,7 @@ void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.num_partitions = tuned.num_partitions;
   cfg.batch_size = tuned.batch_size;
   cfg.inter_batch_threads = tuned.inter_batch_threads;
+  cfg.sparse_adj = tuned.sparse_adj;
 }
 
 }  // namespace qgtc::core

@@ -31,12 +31,21 @@ struct TunedConfig {
   /// to cover the device's parallel units, never more than there are
   /// batches per epoch.
   int inter_batch_threads = 1;
+  /// Tile-sparse adjacency storage/scheduling/transfer: the default for
+  /// tuned runs — bit-identical to dense and never slower, with adjacency
+  /// memory at ~the nonzero-tile ratio (so larger batches fit the budget).
+  /// Callers wanting the dense baseline pass sparse_adj=false to the tuner
+  /// so batch sizing follows the dense memory model.
+  bool sparse_adj = true;
 };
 
 /// Deterministically derives engine knobs from dataset shape + profile.
+/// `sparse_adj` selects the adjacency layout the tuned run will use — batch
+/// sizing follows its memory model (dense pays the full nb x nb plane).
 TunedConfig generate_runtime_config(const DatasetSpec& spec,
                                     const gnn::GnnConfig& model,
-                                    const DeviceProfile& dev = {});
+                                    const DeviceProfile& dev = {},
+                                    bool sparse_adj = true);
 
 /// Applies a tuned config onto an EngineConfig.
 void apply(const TunedConfig& tuned, EngineConfig& cfg);

@@ -26,8 +26,16 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
   for (const SubgraphBatch& b : batches_) {
     BatchData bd;
     bd.batch = b;
-    bd.adj = build_batch_adjacency(dataset.graph, b, /*add_self_loops=*/true);
-    bd.tile_map = build_tile_map(bd.adj);
+    // The tile-CSR adjacency is always built — straight from the global CSR,
+    // never through a dense intermediate. Dense mode derives its plane and
+    // flag map from the tile-CSR (one edge walk total; the flag census is
+    // structural, not a rescan).
+    bd.adj_tiles =
+        build_batch_adjacency_tiles(dataset.graph, b, /*add_self_loops=*/true);
+    if (!cfg.sparse_adj) {
+      bd.adj = bd.adj_tiles.to_bit_matrix();
+      bd.tile_map = build_tile_map(bd.adj_tiles);
+    }
     bd.local = build_batch_csr(dataset.graph, b, /*add_self_loops=*/true);
     bd.features = gather_rows(dataset.features, b.nodes);
     bd.x_planes = model_.prepare_input(bd.features);
@@ -37,7 +45,11 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
   // Requantization shifts come from one representative batch (§4.5's fused
   // epilogue needs them fixed before inference).
   if (!data_.empty()) {
-    model_.calibrate(data_.front().adj, data_.front().features);
+    if (cfg.sparse_adj) {
+      model_.calibrate(data_.front().adj_tiles, data_.front().features);
+    } else {
+      model_.calibrate(data_.front().adj, data_.front().features);
+    }
   }
 }
 
@@ -74,9 +86,14 @@ EngineStats QgtcEngine::run_quantized(int rounds) {
   const auto epoch = [&] {
     parallel_for_workers(0, num_batches(), workers, [&](i64 i, int w) {
       const BatchData& bd = data_[static_cast<std::size_t>(i)];
-      (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
-                                    /*stats=*/nullptr,
-                                    &ctxs[static_cast<std::size_t>(w)]);
+      tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
+      if (cfg_.sparse_adj) {
+        (void)model_.forward_prepared(bd.adj_tiles, bd.x_planes,
+                                      /*stats=*/nullptr, &ctx);
+      } else {
+        (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
+                                      /*stats=*/nullptr, &ctx);
+      }
     });
   };
 
@@ -123,15 +140,20 @@ EngineStats QgtcEngine::transfer_accounting() const {
   transfer::StagingBuffer staging;
   for (const BatchData& bd : data_) {
     // Packed path: 1-bit adjacency + s-bit embedding planes as one compound
-    // object.
+    // object. Sparse mode ships the tile-CSR (payload + indices) instead of
+    // the dense bit plane.
     const QuantParams qp =
         quant_params_from_data(bd.features, cfg_.model.feat_bits);
     const MatrixI32 q = quantize_matrix(bd.features, qp);
     const auto planes = StackedBitTensor::decompose(
         q, cfg_.model.feat_bits, BitLayout::kColMajorK, PadPolicy::kTile8);
-    const auto packed = transfer::pack_batch(bd.adj, planes, staging, pcie);
+    const auto packed =
+        cfg_.sparse_adj
+            ? transfer::pack_batch_tiles(bd.adj_tiles, planes, staging, pcie)
+            : transfer::pack_batch(bd.adj, planes, staging, pcie);
     stats.packed_bytes += packed.total_bytes;
     stats.packed_transfer_seconds += packed.modeled_seconds;
+    stats.adj_bytes += packed.adjacency_bytes;
 
     const auto dense = transfer::dense_fp32_baseline(
         bd.batch.size(), dataset_->spec.feature_dim, pcie);
@@ -142,11 +164,11 @@ EngineStats QgtcEngine::transfer_accounting() const {
 }
 
 double QgtcEngine::nonzero_tile_ratio() const {
+  // The tile-CSR knows its census structurally — no per-batch dense rescan.
   i64 total = 0, nonzero = 0;
   for (const BatchData& bd : data_) {
-    const TileMap map = build_tile_map(bd.adj);
-    total += map.total_tiles();
-    nonzero += map.nonzero_tiles();
+    total += bd.adj_tiles.total_tiles();
+    nonzero += bd.adj_tiles.nnz_tiles();
   }
   return total == 0 ? 0.0
                     : static_cast<double>(nonzero) / static_cast<double>(total);

@@ -29,6 +29,12 @@ struct EngineConfig {
   /// (each worker owns a private ExecutionContext; counters and stats merge
   /// deterministically). 1 = the sequential legacy schedule.
   int inter_batch_threads = 1;
+  /// Structural sparsity: store, schedule and ship each batch adjacency as a
+  /// tile-CSR (only nonzero 8x128 tiles) instead of a dense BitMatrix + flag
+  /// map. Bit-identical results; adjacency memory and packed-transfer bytes
+  /// shrink to ~the nonzero-tile ratio (Figure 8). Default off so the dense
+  /// baseline/ablation paths stay directly comparable.
+  bool sparse_adj = false;
 };
 
 struct EngineStats {
@@ -44,6 +50,9 @@ struct EngineStats {
   double packed_transfer_seconds = 0.0;
   i64 dense_bytes = 0;
   double dense_transfer_seconds = 0.0;
+  // Adjacency share of the packed payload (tile-CSR bytes in sparse mode,
+  // the dense bit plane otherwise).
+  i64 adj_bytes = 0;
   // Execution setup the run used (for reporting / JSON bench output).
   const char* backend = "";
   int inter_batch_threads = 1;
@@ -78,8 +87,11 @@ class QgtcEngine {
   /// Per-batch prepared data, exposed for the ablation/zero-tile benches.
   struct BatchData {
     SubgraphBatch batch;
-    BitMatrix adj;      // dense binary adjacency, kRowMajorK
-    TileMap tile_map;   // cached zero-tile map of adj (reused across layers)
+    /// Tile-CSR adjacency, built straight from the global CSR (always
+    /// present — it costs ~the nonzero-tile ratio of the dense plane).
+    TileSparseBitMatrix adj_tiles;
+    BitMatrix adj;      // dense binary adjacency (empty when cfg.sparse_adj)
+    TileMap tile_map;   // cached zero-tile map of adj (dense mode only)
     CsrGraph local;     // same adjacency as CSR (fp32 baseline path)
     MatrixF features;   // gathered fp32 features
     StackedBitTensor x_planes;  // host-packed quantized input (§4.6)

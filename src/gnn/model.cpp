@@ -72,7 +72,8 @@ void QgtcModel::quantize_weights() {
   }
 }
 
-void QgtcModel::calibrate(const BitMatrix& adj, const MatrixF& x) {
+template <typename Adj>
+void QgtcModel::calibrate_impl(const Adj& adj, const MatrixF& x) {
   const int s = cfg_.feat_bits;
   BmmOptions opt;
   opt.zero_tile_jump = cfg_.zero_tile_jump;
@@ -122,6 +123,14 @@ void QgtcModel::calibrate(const BitMatrix& adj, const MatrixF& x) {
   calibrated_ = true;
 }
 
+void QgtcModel::calibrate(const BitMatrix& adj, const MatrixF& x) {
+  calibrate_impl(adj, x);
+}
+
+void QgtcModel::calibrate(const TileSparseBitMatrix& adj, const MatrixF& x) {
+  calibrate_impl(adj, x);
+}
+
 StackedBitTensor QgtcModel::prepare_input(const MatrixF& x) const {
   const QuantParams xqp = quant_params_from_data(x, cfg_.feat_bits);
   const MatrixI32 xq = quantize_matrix(x, xqp);
@@ -138,17 +147,22 @@ MatrixI32 QgtcModel::forward_quantized(const BitMatrix& adj, const MatrixF& x,
   return forward_prepared(adj, nullptr, prepare_input(x), stats, ctx);
 }
 
-MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
-                                      const TileMap* tile_map,
-                                      const StackedBitTensor& x_planes,
-                                      ForwardStats* stats,
-                                      const tcsim::ExecutionContext* ctx) const {
+template <typename Adj>
+MatrixI32 QgtcModel::forward_impl(const Adj& adj, const TileMap* tile_map,
+                                  const StackedBitTensor& x_planes,
+                                  ForwardStats* stats,
+                                  const tcsim::ExecutionContext* ctx) const {
   const int s = cfg_.feat_bits;
+  // `opt` drives the update-side MMs (activations x weights); the cached
+  // adjacency flag map belongs only to the aggregation-side options — a
+  // single-plane (1-bit) activation operand would otherwise be jumped with
+  // the adjacency's map, whose tile grid it does not share.
   BmmOptions opt;
   opt.zero_tile_jump = cfg_.zero_tile_jump;
-  opt.tile_map = tile_map;
   opt.allow_overflow = (cfg_.feat_bits > 8 || cfg_.weight_bits > 8);
   opt.ctx = ctx;
+  BmmOptions agg_opt = opt;
+  agg_opt.tile_map = tile_map;
 
   const tcsim::ExecutionContext& exec = resolve_ctx(opt);
   tcsim::Counters before;
@@ -167,7 +181,7 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
         const bool last = (l + 1 == cfg_.num_layers);
         FusedEpilogue agg_epi;
         agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
-        auto xn = aggregate_fused_bit(adj, *cur, s, agg_epi, opt,
+        auto xn = aggregate_fused_bit(adj, *cur, s, agg_epi, agg_opt,
                                       PadPolicy::kTile8);
         if (last) {
           logits = bitmm_fused_int(xn, w_planes_[static_cast<std::size_t>(l)], {}, opt);
@@ -204,12 +218,12 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
                                BitLayout::kColMajorK);
         }
         if (last) {
-          logits = aggregate_1bit(adj, xu, cfg_.reuse, opt);
+          logits = aggregate_1bit(adj, xu, cfg_.reuse, agg_opt);
           break;
         }
         FusedEpilogue agg_epi;
         agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
-        next = aggregate_fused_bit(adj, xu, s, agg_epi, opt, PadPolicy::kTile8);
+        next = aggregate_fused_bit(adj, xu, s, agg_epi, agg_opt, PadPolicy::kTile8);
         cur = &next;
       }
     }
@@ -219,7 +233,7 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
     for (int l = 0; l < cfg_.num_layers; ++l) {
       const bool last = (l + 1 == cfg_.num_layers);
       if (gcn) {
-        MatrixI32 agg = aggregate_1bit(adj, *cur, cfg_.reuse, opt);
+        MatrixI32 agg = aggregate_1bit(adj, *cur, cfg_.reuse, agg_opt);
         const MatrixI32 xn_q = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
         auto xn = StackedBitTensor::decompose(xn_q, s, BitLayout::kRowMajorK,
                                               PadPolicy::kTile8);
@@ -243,7 +257,7 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
         }
         auto xu = StackedBitTensor::decompose(xu_q, s, BitLayout::kColMajorK,
                                               PadPolicy::kTile8);
-        MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, opt);
+        MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, agg_opt);
         if (last) {
           logits = std::move(agg);
           break;
@@ -262,6 +276,21 @@ MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
     stats->bmma_ops += static_cast<i64>(after.bmma_ops - before.bmma_ops);
   }
   return logits;
+}
+
+MatrixI32 QgtcModel::forward_prepared(const BitMatrix& adj,
+                                      const TileMap* tile_map,
+                                      const StackedBitTensor& x_planes,
+                                      ForwardStats* stats,
+                                      const tcsim::ExecutionContext* ctx) const {
+  return forward_impl(adj, tile_map, x_planes, stats, ctx);
+}
+
+MatrixI32 QgtcModel::forward_prepared(const TileSparseBitMatrix& adj,
+                                      const StackedBitTensor& x_planes,
+                                      ForwardStats* stats,
+                                      const tcsim::ExecutionContext* ctx) const {
+  return forward_impl(adj, /*tile_map=*/nullptr, x_planes, stats, ctx);
 }
 
 MatrixF QgtcModel::forward_fp32(const CsrGraph& local, const MatrixF& x) const {

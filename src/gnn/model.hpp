@@ -43,6 +43,9 @@ class QgtcModel {
   /// per-layer right-shift fixed before inference; we derive it from one
   /// representative batch, the standard post-training-calibration recipe).
   void calibrate(const BitMatrix& adj, const MatrixF& x);
+  /// Calibration over a tile-CSR adjacency (the sparse-adjacency engine mode
+  /// never materialises the dense batch matrix, calibration included).
+  void calibrate(const TileSparseBitMatrix& adj, const MatrixF& x);
   [[nodiscard]] bool calibrated() const { return calibrated_; }
 
   /// Quantized QGTC forward for one batch: returns int32 logits
@@ -70,6 +73,14 @@ class QgtcModel {
                              ForwardStats* stats = nullptr,
                              const tcsim::ExecutionContext* ctx = nullptr) const;
 
+  /// Forward over a tile-CSR adjacency: every aggregation consumes the
+  /// stored tiles directly, so zero-tile jumping is structural (no flag map
+  /// to build, cache or test). Bit-identical to the dense path.
+  MatrixI32 forward_prepared(const TileSparseBitMatrix& adj,
+                             const StackedBitTensor& x_planes,
+                             ForwardStats* stats = nullptr,
+                             const tcsim::ExecutionContext* ctx = nullptr) const;
+
   /// fp32 reference forward (the DGL-substitute path) over the batch's
   /// local CSR. Returns fp32 logits.
   MatrixF forward_fp32(const CsrGraph& local, const MatrixF& x) const;
@@ -86,6 +97,16 @@ class QgtcModel {
   bool calibrated_ = false;
 
   void quantize_weights();
+
+  /// Shared forward/calibration bodies, generic over the adjacency
+  /// representation (dense BitMatrix or TileSparseBitMatrix — the aggregate
+  /// kernels overload on it). `tile_map` is dense-only; sparse passes null.
+  template <typename Adj>
+  MatrixI32 forward_impl(const Adj& adj, const TileMap* tile_map,
+                         const StackedBitTensor& x_planes, ForwardStats* stats,
+                         const tcsim::ExecutionContext* ctx) const;
+  template <typename Adj>
+  void calibrate_impl(const Adj& adj, const MatrixF& x);
 };
 
 }  // namespace qgtc::gnn

@@ -1,6 +1,7 @@
 #include "graph/batching.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "parallel/parallel_for.hpp"
 
@@ -64,6 +65,68 @@ BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,
                 PadPolicy::kTile8);
   for_each_batch_edge(g, batch, add_self_loops,
                       [&](i64 u, i64 v) { adj.set(u, v, true); });
+  return adj;
+}
+
+TileSparseBitMatrix build_batch_adjacency_tiles(const CsrGraph& g,
+                                                const SubgraphBatch& batch,
+                                                bool add_self_loops) {
+  const i64 n = batch.size();
+  TileSparseBitMatrix adj(n, n);
+  const i64 tiles_k = adj.tiles_k();
+
+  // Streaming row-tile build: the edge walker visits rows in ascending
+  // order, so a row block's touched K tiles accumulate in per-tile scratch
+  // slots and flush (sorted) into the tile-CSR when the walker leaves the
+  // block. Only touched tiles ever allocate scratch.
+  std::vector<i32> slot_of(static_cast<std::size_t>(tiles_k), -1);
+  std::vector<i64> touched;
+  std::vector<u32> scratch;  // touched.size() * kTileWords words
+  i64 open_tm = 0;
+
+  const auto flush = [&](i64 tm) {
+    if (touched.empty()) return;
+    std::sort(touched.begin(), touched.end());
+    for (const i64 tk : touched) {
+      u32* dst = adj.append_tile(tm, tk);
+      std::memcpy(dst,
+                  scratch.data() +
+                      static_cast<std::size_t>(slot_of[static_cast<std::size_t>(tk)]) *
+                          TileSparseBitMatrix::kTileWords,
+                  TileSparseBitMatrix::kTileWords * sizeof(u32));
+      slot_of[static_cast<std::size_t>(tk)] = -1;
+    }
+    touched.clear();
+  };
+
+  for_each_batch_edge(g, batch, add_self_loops, [&](i64 u, i64 v) {
+    const i64 tm = u / kTileM;
+    if (tm != open_tm) {
+      flush(open_tm);
+      open_tm = tm;
+    }
+    const i64 tk = v / kTileK;
+    i32 slot = slot_of[static_cast<std::size_t>(tk)];
+    if (slot < 0) {
+      slot = static_cast<i32>(touched.size());
+      slot_of[static_cast<std::size_t>(tk)] = slot;
+      touched.push_back(tk);
+      const std::size_t need = static_cast<std::size_t>(slot + 1) *
+                               TileSparseBitMatrix::kTileWords;
+      if (scratch.size() < need) scratch.resize(need, 0u);
+      std::fill_n(scratch.begin() +
+                      static_cast<std::ptrdiff_t>(slot) *
+                          TileSparseBitMatrix::kTileWords,
+                  TileSparseBitMatrix::kTileWords, 0u);
+    }
+    const i64 in_tile_col = v % kTileK;
+    scratch[static_cast<std::size_t>(slot) * TileSparseBitMatrix::kTileWords +
+            static_cast<std::size_t>((u % kTileM) * kTileKWords +
+                                     in_tile_col / kWordBits)] |=
+        u32{1} << (in_tile_col % kWordBits);
+  });
+  flush(open_tm);
+  adj.finalize();
   return adj;
 }
 

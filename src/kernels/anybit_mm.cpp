@@ -46,53 +46,38 @@ bool tile_zero_all_planes(const std::vector<const BitMatrix*>& ap, i64 tm,
   return true;
 }
 
-/// Single-pass any-bit tile sweep (the §4.4 cross-tile reduction generalised
-/// to multi-bit A): for each output tile, every surviving K tile is decoded
-/// once per A plane and multiplied against every B plane before moving on.
-/// `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile. Tile
-/// ops execute on the context's substrate backend; scratch comes from the
-/// per-thread workspace arena.
-///
-/// `parallel_over_n` selects the parallel axis: row-tile blocks when the
-/// consumer writes row-owned data (int32 rows / kRowMajorK planes), and
-/// column-tile blocks when it writes column-owned data (kColMajorK planes),
-/// so plane words are never shared between threads.
-template <typename Consume>
-void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
-                      const std::vector<const BitMatrix*>& bp,
-                      const BmmOptions& opt, bool parallel_over_n,
-                      Consume&& consume) {
-  const BitMatrix& a0 = *ap.front();
-  const BitMatrix& b0 = *bp.front();
-  QGTC_CHECK(a0.layout() == BitLayout::kRowMajorK, "A planes must be kRowMajorK");
-  QGTC_CHECK(b0.layout() == BitLayout::kColMajorK, "B planes must be kColMajorK");
-  QGTC_CHECK(a0.padded_cols() == b0.padded_rows(),
-             "padded K extents of A and B differ");
-  QGTC_CHECK(!(opt.zero_tile_jump && opt.op == tcsim::BmmaOp::kXor),
-             "zero-tile jumping is incompatible with the XOR combine");
+/// Dense A-side tile source: one or more kRowMajorK bit planes whose
+/// surviving tiles come from the §4.3 flag test (precomputed map or inline
+/// OR+ballot). Tile handles are K-tile indices.
+class DensePlanesSource {
+ public:
+  /// True when absent tiles are structurally skipped regardless of
+  /// opt.zero_tile_jump (dense planes: no — the flag test gates skipping).
+  static constexpr bool kStructural = false;
 
-  const tcsim::ExecutionContext& ctx = resolve_ctx(opt);
-  const tcsim::SubstrateBackend& be = ctx.backend();
-  const i64 tiles_m = a0.padded_rows() / kTileM;
-  const i64 tiles_n = b0.padded_cols() / kTileN;
-  const i64 tiles_k = a0.padded_cols() / kTileK;
-  const int sa = static_cast<int>(ap.size());
-  const int sb = static_cast<int>(bp.size());
-  const bool use_xor = (opt.op == tcsim::BmmaOp::kXor);
+  explicit DensePlanesSource(std::vector<const BitMatrix*> ap)
+      : ap_(std::move(ap)) {
+    QGTC_CHECK(ap_.front()->layout() == BitLayout::kRowMajorK,
+               "A planes must be kRowMajorK");
+  }
 
-  // Surviving K tiles per row block, shared across the N sweep (and across
-  // threads when parallelising over N). The list-of-lists lives in the
-  // calling thread's arena; inner threads only read it.
-  std::vector<std::vector<i64>>& k_lists = ctx.workspace().k_lists(tiles_m);
-  parallel_for(0, tiles_m, [&](i64 tm) {
-    auto& list = k_lists[static_cast<std::size_t>(tm)];
-    list.reserve(static_cast<std::size_t>(tiles_k));
+  [[nodiscard]] i64 tiles_m() const { return ap_.front()->padded_rows() / kTileM; }
+  [[nodiscard]] i64 tiles_k() const { return ap_.front()->padded_cols() / kTileK; }
+  [[nodiscard]] i64 padded_k() const { return ap_.front()->padded_cols(); }
+  [[nodiscard]] int planes() const { return static_cast<int>(ap_.size()); }
+
+  /// Upper bound on row block tm's survivor count (dense: every K tile may
+  /// survive the flag test).
+  [[nodiscard]] i64 survivor_bound(i64) const { return tiles_k(); }
+
+  /// Appends row block tm's surviving tile handles; returns the jump count.
+  i64 survivors(i64 tm, const BmmOptions& opt, std::vector<i64>& list) const {
     i64 jumped = 0;
-    for (i64 tk = 0; tk < tiles_k; ++tk) {
+    for (i64 tk = 0; tk < tiles_k(); ++tk) {
       if (opt.zero_tile_jump) {
-        const bool nz = (opt.tile_map != nullptr && sa == 1)
+        const bool nz = (opt.tile_map != nullptr && planes() == 1)
                             ? opt.tile_map->is_nonzero(tm, tk)
-                            : !tile_zero_all_planes(ap, tm, tk);
+                            : !tile_zero_all_planes(ap_, tm, tk);
         if (!nz) {
           ++jumped;
           continue;
@@ -100,6 +85,97 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
       }
       list.push_back(tk);
     }
+    return jumped;
+  }
+
+  [[nodiscard]] i64 tile_col(i64 h) const { return h; }
+  [[nodiscard]] const u32* tile_ptr(int plane, i64 tm, i64 h) const {
+    const BitMatrix& p = *ap_[static_cast<std::size_t>(plane)];
+    return p.row_words(tm * kTileM) + h * kTileKWords;
+  }
+  [[nodiscard]] i64 tile_stride(int plane) const {
+    return ap_[static_cast<std::size_t>(plane)]->k_words();
+  }
+
+ private:
+  std::vector<const BitMatrix*> ap_;
+};
+
+/// Structurally sparse A-side tile source: the tile-CSR adjacency. The
+/// stored-tile range *is* the surviving list (no scan, no flags); handles
+/// are payload indices, always single-plane (the adjacency is 1-bit).
+class SparseAdjSource {
+ public:
+  static constexpr bool kStructural = true;
+
+  explicit SparseAdjSource(const TileSparseBitMatrix& a) : a_(&a) {}
+
+  [[nodiscard]] i64 tiles_m() const { return a_->tiles_m(); }
+  [[nodiscard]] i64 tiles_k() const { return a_->tiles_k(); }
+  [[nodiscard]] i64 padded_k() const { return a_->padded_cols(); }
+  [[nodiscard]] int planes() const { return 1; }
+
+  /// Exact: the tile-CSR already stores each row's schedule length.
+  [[nodiscard]] i64 survivor_bound(i64 tm) const { return a_->row_nnz(tm); }
+
+  i64 survivors(i64 tm, const BmmOptions&, std::vector<i64>& list) const {
+    for (i64 t = a_->row_begin(tm); t < a_->row_end(tm); ++t) {
+      list.push_back(t);
+    }
+    return a_->tiles_k() - a_->row_nnz(tm);
+  }
+
+  [[nodiscard]] i64 tile_col(i64 h) const { return a_->tile_col(h); }
+  [[nodiscard]] const u32* tile_ptr(int, i64, i64 h) const {
+    return a_->tile_words(h);
+  }
+  [[nodiscard]] i64 tile_stride(int) const { return kTileKWords; }
+
+ private:
+  const TileSparseBitMatrix* a_;
+};
+
+/// Single-pass any-bit tile sweep (the §4.4 cross-tile reduction generalised
+/// to multi-bit A): for each output tile, every surviving K tile is decoded
+/// once per A plane and multiplied against every B plane before moving on.
+/// The A operand comes through a tile source (dense planes or the tile-CSR
+/// adjacency), so flag-based and structural zero-tile jumping share this one
+/// sweep. `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile.
+/// Tile ops execute on the context's substrate backend; scratch comes from
+/// the per-thread workspace arena.
+///
+/// `parallel_over_n` selects the parallel axis: row-tile blocks when the
+/// consumer writes row-owned data (int32 rows / kRowMajorK planes), and
+/// column-tile blocks when it writes column-owned data (kColMajorK planes),
+/// so plane words are never shared between threads.
+template <typename Src, typename Consume>
+void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
+                      const BmmOptions& opt, bool parallel_over_n,
+                      Consume&& consume) {
+  const BitMatrix& b0 = *bp.front();
+  QGTC_CHECK(b0.layout() == BitLayout::kColMajorK, "B planes must be kColMajorK");
+  QGTC_CHECK(src.padded_k() == b0.padded_rows(),
+             "padded K extents of A and B differ");
+  QGTC_CHECK(!((opt.zero_tile_jump || Src::kStructural) &&
+               opt.op == tcsim::BmmaOp::kXor),
+             "zero-tile jumping is incompatible with the XOR combine");
+
+  const tcsim::ExecutionContext& ctx = resolve_ctx(opt);
+  const tcsim::SubstrateBackend& be = ctx.backend();
+  const i64 tiles_m = src.tiles_m();
+  const i64 tiles_n = b0.padded_cols() / kTileN;
+  const int sa = src.planes();
+  const int sb = static_cast<int>(bp.size());
+  const bool use_xor = (opt.op == tcsim::BmmaOp::kXor);
+
+  // Surviving tile handles per row block, shared across the N sweep (and
+  // across threads when parallelising over N). The list-of-lists lives in
+  // the calling thread's arena; inner threads only read it.
+  std::vector<std::vector<i64>>& k_lists = ctx.workspace().k_lists(tiles_m);
+  parallel_for(0, tiles_m, [&](i64 tm) {
+    auto& list = k_lists[static_cast<std::size_t>(tm)];
+    list.reserve(static_cast<std::size_t>(src.survivor_bound(tm)));
+    const i64 jumped = src.survivors(tm, opt, list);
     if (jumped > 0) {
       tcsim::Counters delta;
       delta.tiles_jumped = static_cast<u64>(jumped);
@@ -118,11 +194,10 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
       for (i64 tm = 0; tm < tiles_m; ++tm) {
         std::memset(acc, 0, tcsim::kTileAccLanes * sizeof(u64));
         const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
-        for (const i64 tk : k_list) {
+        for (const i64 h : k_list) {
+          const i64 tk = src.tile_col(h);
           for (int ab = 0; ab < sa; ++ab) {
-            const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
-            be.load_a(frag, pa.row_words(tm * kTileM) + tk * kTileKWords,
-                      pa.k_words());
+            be.load_a(frag, src.tile_ptr(ab, tm, h), src.tile_stride(ab));
             for (int bb = 0; bb < sb; ++bb) {
               const BitMatrix& pb = *bp[static_cast<std::size_t>(bb)];
               be.mma(acc, frag, pb.col_words(tn * kTileN) + tk * kTileKWords,
@@ -159,11 +234,10 @@ void fused_tile_sweep(const std::vector<const BitMatrix*>& ap,
         const i64 nb = std::min<i64>(width, tiles_n - tn0);
         std::memset(acc, 0,
                     static_cast<std::size_t>(nb * tcsim::kTileAccLanes) * sizeof(u64));
-        for (const i64 tk : k_list) {
+        for (const i64 h : k_list) {
+          const i64 tk = src.tile_col(h);
           for (int ab = 0; ab < sa; ++ab) {
-            const BitMatrix& pa = *ap[static_cast<std::size_t>(ab)];
-            be.load_a(frag, pa.row_words(tm * kTileM) + tk * kTileKWords,
-                      pa.k_words());
+            be.load_a(frag, src.tile_ptr(ab, tm, h), src.tile_stride(ab));
             ++a_loads;
             for (i64 b = 0; b < nb; ++b) {
               for (int bb = 0; bb < sb; ++bb) {
@@ -227,7 +301,8 @@ MatrixI32 bitmm_fused_int(const StackedBitTensor& a, const StackedBitTensor& b,
   const i64 m = a.rows(), n = b.cols();
   MatrixI32 out(m, n, 0);
   fused_tile_sweep(
-      plane_ptrs(a), plane_ptrs(b), opt, /*parallel_over_n=*/false,
+      DensePlanesSource(plane_ptrs(a)), plane_ptrs(b), opt,
+      /*parallel_over_n=*/false,
       [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
         for (int i = 0; i < kTileM; ++i) {
           const i64 r = tm * kTileM + i;
@@ -245,8 +320,10 @@ MatrixI32 bitmm_fused_int(const StackedBitTensor& a, const StackedBitTensor& b,
 namespace {
 
 /// Shared implementation of the fused to-bit epilogue: requantize each tile
-/// value and scatter its bits into the output planes.
-StackedBitTensor fused_bit_output(const std::vector<const BitMatrix*>& ap,
+/// value and scatter its bits into the output planes. `src` is the A-side
+/// tile source (dense planes or the tile-CSR adjacency).
+template <typename Src>
+StackedBitTensor fused_bit_output(const Src& src,
                                   const std::vector<const BitMatrix*>& bp,
                                   i64 m, i64 n, int out_bits,
                                   const FusedEpilogue& epi,
@@ -260,7 +337,7 @@ StackedBitTensor fused_bit_output(const std::vector<const BitMatrix*>& ap,
 
   const bool parallel_over_n = (out_layout == BitLayout::kColMajorK);
   fused_tile_sweep(
-      ap, bp, opt, parallel_over_n,
+      src, bp, opt, parallel_over_n,
       [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
         // Requantize the 8x8 tile, then scatter each line's 8 bits with one
         // word RMW per plane (an 8-bit lane always sits inside one u32 word
@@ -327,30 +404,38 @@ StackedBitTensor bitmm_fused_bit(const StackedBitTensor& a,
   QGTC_CHECK(a.cols() == b.rows(), "bitmm_fused_bit: inner dimensions differ");
   QGTC_CHECK(out_bits >= 1 && out_bits <= 31, "out_bits must be in [1,31]");
   if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
-  return fused_bit_output(plane_ptrs(a), plane_ptrs(b), a.rows(), b.cols(),
-                          out_bits, epi, opt, out_pad, out_layout);
+  return fused_bit_output(DensePlanesSource(plane_ptrs(a)), plane_ptrs(b),
+                          a.rows(), b.cols(), out_bits, epi, opt, out_pad,
+                          out_layout);
 }
 
-MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
-                         ReuseMode mode, const BmmOptions& opt) {
+namespace {
+
+/// Shared aggregate_1bit body, generic over the adjacency representation
+/// (bmm_accumulate overloads on it) and its tile source. `padded_m` is the
+/// representation's padded row extent for the cross-bit accumulator.
+template <typename AdjT, typename Src>
+MatrixI32 aggregate_1bit_impl(const AdjT& a_bin, i64 padded_m, const Src& src,
+                              const StackedBitTensor& x, ReuseMode mode,
+                              const BmmOptions& opt) {
   QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_1bit: dimension mismatch");
   if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
   if (mode == ReuseMode::kCrossBit) {
-    // Figure 6(a): one complete BMM pass per bit-plane; every non-zero A
+    // Figure 6(a): one complete BMM pass per bit-plane; every surviving A
     // tile is re-loaded for each plane.
     MatrixI32& padded = resolve_ctx(opt).workspace().padded_acc(
-        pad8(a_bin.rows()), x.plane(0).padded_cols());
+        padded_m, x.plane(0).padded_cols());
     for (int b = 0; b < x.bits(); ++b) {
       bmm_accumulate(a_bin, x.plane(b), padded, b, opt);
     }
     return slice_logical(padded, a_bin.rows(), x.cols());
   }
   // Figure 6(b): cross-tile reduction via the fused sweep with a single
-  // 1-bit A plane.
+  // 1-bit A plane (the stored tiles only, for the tile-CSR source).
   const i64 m = a_bin.rows(), n = x.cols();
   MatrixI32 out(m, n, 0);
   fused_tile_sweep(
-      {&a_bin}, plane_ptrs(x), opt, /*parallel_over_n=*/false,
+      src, plane_ptrs(x), opt, /*parallel_over_n=*/false,
       [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
         for (int i = 0; i < kTileM; ++i) {
           const i64 r = tm * kTileM + i;
@@ -365,6 +450,21 @@ MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
   return out;
 }
 
+}  // namespace
+
+MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
+                         ReuseMode mode, const BmmOptions& opt) {
+  return aggregate_1bit_impl(a_bin, pad8(a_bin.rows()),
+                             DensePlanesSource({&a_bin}), x, mode, opt);
+}
+
+MatrixI32 aggregate_1bit(const TileSparseBitMatrix& a_bin,
+                         const StackedBitTensor& x, ReuseMode mode,
+                         const BmmOptions& opt) {
+  return aggregate_1bit_impl(a_bin, a_bin.padded_rows(),
+                             SparseAdjSource(a_bin), x, mode, opt);
+}
+
 StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,
                                      const StackedBitTensor& x, int out_bits,
                                      const FusedEpilogue& epi,
@@ -372,8 +472,21 @@ StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,
   QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_fused_bit: dimension mismatch");
   QGTC_CHECK(out_bits >= 1 && out_bits <= 31, "out_bits must be in [1,31]");
   if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
-  return fused_bit_output({&a_bin}, plane_ptrs(x), a_bin.rows(), x.cols(),
-                          out_bits, epi, opt, out_pad, BitLayout::kRowMajorK);
+  return fused_bit_output(DensePlanesSource({&a_bin}), plane_ptrs(x),
+                          a_bin.rows(), x.cols(), out_bits, epi, opt, out_pad,
+                          BitLayout::kRowMajorK);
+}
+
+StackedBitTensor aggregate_fused_bit(const TileSparseBitMatrix& a_bin,
+                                     const StackedBitTensor& x, int out_bits,
+                                     const FusedEpilogue& epi,
+                                     const BmmOptions& opt, PadPolicy out_pad) {
+  QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_fused_bit: dimension mismatch");
+  QGTC_CHECK(out_bits >= 1 && out_bits <= 31, "out_bits must be in [1,31]");
+  if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
+  return fused_bit_output(SparseAdjSource(a_bin), plane_ptrs(x), a_bin.rows(),
+                          x.cols(), out_bits, epi, opt, out_pad,
+                          BitLayout::kRowMajorK);
 }
 
 }  // namespace qgtc

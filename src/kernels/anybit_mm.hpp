@@ -71,8 +71,23 @@ StackedBitTensor bitmm_fused_bit(const StackedBitTensor& a,
 MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
                          ReuseMode mode, const BmmOptions& opt = {});
 
+/// Structurally sparse aggregation: A is a tile-CSR adjacency, so only the
+/// stored tiles are ever visited — zero-tile jumping without a flag test or
+/// dense scan. Bit-identical to the dense overload; substrate accounting
+/// (bmma_ops / tiles_jumped) matches the flag-based jump exactly.
+MatrixI32 aggregate_1bit(const TileSparseBitMatrix& a_bin,
+                         const StackedBitTensor& x, ReuseMode mode,
+                         const BmmOptions& opt = {});
+
 /// Fused aggregation: requantizes X_new to `out_bits` inside the epilogue.
 StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,
+                                     const StackedBitTensor& x, int out_bits,
+                                     const FusedEpilogue& epi = {},
+                                     const BmmOptions& opt = {},
+                                     PadPolicy out_pad = PadPolicy::kOperand128);
+
+/// Fused aggregation over a tile-CSR adjacency (structural jumping).
+StackedBitTensor aggregate_fused_bit(const TileSparseBitMatrix& a_bin,
                                      const StackedBitTensor& x, int out_bits,
                                      const FusedEpilogue& epi = {},
                                      const BmmOptions& opt = {},

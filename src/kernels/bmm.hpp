@@ -4,6 +4,7 @@
 #pragma once
 
 #include "bittensor/bit_matrix.hpp"
+#include "bittensor/tile_sparse.hpp"
 #include "kernels/zerotile.hpp"
 #include "tcsim/exec_context.hpp"
 #include "tcsim/wmma.hpp"
@@ -49,6 +50,21 @@ void bmm_accumulate(const BitMatrix& a, const BitMatrix& b, MatrixI32& c,
 /// Convenience wrapper: allocates C (padded), runs bmm_accumulate once, and
 /// returns the logical M x N slice.
 MatrixI32 bmm(const BitMatrix& a, const BitMatrix& b,
+              const BmmOptions& opt = {});
+
+/// Structurally sparse A: C (+)= (A x B) << shift over the stored tiles
+/// only. Jumping is free — no dense scan, no per-tile flag test; the tiles
+/// the tile-CSR never stored count as `tiles_jumped`, so the substrate
+/// accounting matches the dense path *with zero-tile jumping enabled*
+/// exactly. `opt.zero_tile_jump` and `opt.tile_map` are ignored — the layout
+/// *is* the jump map, and structural jumping cannot be disabled, so a dense
+/// no-jump ablation (zero_tile_jump=false) has no sparse counter analogue.
+/// The XOR combine is rejected, as with flag-based jumping.
+void bmm_accumulate(const TileSparseBitMatrix& a, const BitMatrix& b,
+                    MatrixI32& c, int shift = 0, const BmmOptions& opt = {});
+
+/// Sparse-A convenience wrapper mirroring bmm().
+MatrixI32 bmm(const TileSparseBitMatrix& a, const BitMatrix& b,
               const BmmOptions& opt = {});
 
 /// Allocates the padded accumulator for a given A/B pair.

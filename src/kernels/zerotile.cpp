@@ -5,12 +5,6 @@
 
 namespace qgtc {
 
-i64 TileMap::nonzero_tiles() const {
-  i64 n = 0;
-  for (u8 f : nonzero) n += f;
-  return n;
-}
-
 TileMap build_tile_map(const BitMatrix& a) {
   QGTC_CHECK(a.layout() == BitLayout::kRowMajorK,
              "tile maps are defined on the A-side (kRowMajorK) layout");
@@ -27,6 +21,23 @@ TileMap build_tile_map(const BitMatrix& a) {
           zero ? 0 : 1;
     }
   });
+  i64 n = 0;
+  for (const u8 f : map.nonzero) n += f;
+  map.nonzero_count = n;
+  return map;
+}
+
+TileMap build_tile_map(const TileSparseBitMatrix& a) {
+  TileMap map;
+  map.tiles_m = a.tiles_m();
+  map.tiles_k = a.tiles_k();
+  map.nonzero.assign(static_cast<std::size_t>(map.tiles_m * map.tiles_k), 0);
+  for (i64 tm = 0; tm < map.tiles_m; ++tm) {
+    for (i64 t = a.row_begin(tm); t < a.row_end(tm); ++t) {
+      map.nonzero[static_cast<std::size_t>(tm * map.tiles_k + a.tile_col(t))] = 1;
+    }
+  }
+  map.nonzero_count = a.nnz_tiles();
   return map;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bittensor/bit_matrix.hpp"
+#include "bittensor/tile_sparse.hpp"
 
 namespace qgtc {
 
@@ -15,12 +16,15 @@ struct TileMap {
   i64 tiles_m = 0;  // row-tile count (padded_rows / 8)
   i64 tiles_k = 0;  // K-tile count (padded_cols / 128)
   std::vector<u8> nonzero;  // tiles_m * tiles_k flags
+  /// Non-zero flag total, counted once by build_tile_map — callers poll this
+  /// in per-batch loops, so it must not re-sum the flag vector.
+  i64 nonzero_count = 0;
 
   [[nodiscard]] bool is_nonzero(i64 tm, i64 tk) const {
     return nonzero[static_cast<std::size_t>(tm * tiles_k + tk)] != 0;
   }
   [[nodiscard]] i64 total_tiles() const { return tiles_m * tiles_k; }
-  [[nodiscard]] i64 nonzero_tiles() const;
+  [[nodiscard]] i64 nonzero_tiles() const { return nonzero_count; }
   /// Fraction of tiles that must actually be processed (Figure 8's metric).
   [[nodiscard]] double nonzero_ratio() const {
     return total_tiles() == 0
@@ -32,5 +36,10 @@ struct TileMap {
 
 /// Scans a packed kRowMajorK matrix with the §4.3 OR+ballot test per tile.
 TileMap build_tile_map(const BitMatrix& a);
+
+/// Structural census of a tile-CSR matrix: flags come straight from the
+/// stored-tile index lists in O(nnz) — no bit scan (stored tiles are nonzero
+/// by construction in both builders).
+TileMap build_tile_map(const TileSparseBitMatrix& a);
 
 }  // namespace qgtc

@@ -313,6 +313,21 @@ const SubstrateBackend& simd_impl(BackendKind kind, i64 width) {
 
 }  // namespace
 
+void SubstrateBackend::mma_tile_list(u64* acc, const SparseTileRef* tiles,
+                                     i64 n_tiles, i64 a_stride,
+                                     const u32* b_cols, i64 b_stride, i64 nb,
+                                     int shift, bool use_xor) const {
+  AFragment frag;
+  for (i64 t = 0; t < n_tiles; ++t) {
+    load_a(frag, tiles[t].a, a_stride);
+    const u32* bk = b_cols + tiles[t].k_tile * kTileKWords;
+    for (i64 blk = 0; blk < nb; ++blk) {
+      mma(acc + blk * kTileAccLanes, frag, bk + blk * kTileN * b_stride,
+          b_stride, shift, use_xor);
+    }
+  }
+}
+
 const SubstrateBackend& backend(BackendKind k) {
   switch (k) {
     case BackendKind::kScalar: {

@@ -43,6 +43,17 @@ struct alignas(64) AFragment {
 /// layout (AVX2/AVX-512 keep per-lane partial sums: 128 u64 per tile).
 inline constexpr i64 kTileAccLanes = 128;
 
+/// One entry of a sparse A-tile schedule: the stored tile's first word (its
+/// 8 rows sit `a_stride` u32 apart) plus the K-tile index that selects the
+/// matching 128-bit slice of every B column. Both the tile-CSR layout (tiles
+/// stored contiguously, stride kTileKWords) and the dense layout (tiles in
+/// place, stride k_words) describe their surviving tiles this way, so
+/// flag-based and structural zero-tile jumping execute one schedule format.
+struct SparseTileRef {
+  const u32* a;
+  i64 k_tile;
+};
+
 /// A substrate micro-kernel implementation. Stateless and shared across
 /// threads: all mutable state lives in caller-provided scratch (the
 /// ExecutionContext workspace arena), so one registry instance serves every
@@ -70,6 +81,21 @@ class SubstrateBackend {
   /// out[8x8, rows `out_stride` i32 apart] (+)= acc, truncating each element
   /// to the substrate's exact uint32-wrap contract.
   virtual void flush(i32* out, i64 out_stride, const u64* acc) const = 0;
+
+  /// Sparse-schedule execution: sweeps a row block's surviving-tile list
+  /// across a panel of `nb` consecutive output-column tiles, keeping each
+  /// decoded A fragment resident for the whole panel (the §4.4 blocking,
+  /// applied to an explicit tile list instead of a dense K loop). `b_cols`
+  /// points at the first panel column's packed words (columns `b_stride` u32
+  /// apart); entry `t` multiplies against words b_cols + blk*8*b_stride +
+  /// tiles[t].k_tile*kTileKWords. `acc` holds nb * kTileAccLanes lanes.
+  ///
+  /// The base implementation composes load_a + mma, so every backend —
+  /// kScalar, kSimd, kBlocked — consumes the same sparse schedule; overrides
+  /// may fuse further.
+  virtual void mma_tile_list(u64* acc, const SparseTileRef* tiles, i64 n_tiles,
+                             i64 a_stride, const u32* b_cols, i64 b_stride,
+                             i64 nb, int shift, bool use_xor) const;
 };
 
 /// Registry lookup. Instances are process-lifetime singletons; kSimd and

@@ -11,15 +11,15 @@ MatrixI32& Workspace::padded_acc(i64 rows, i64 cols) {
   return padded_acc_;
 }
 
-std::vector<i64>& Workspace::k_list() {
-  k_list_.clear();
-  return k_list_;
-}
-
 std::vector<std::vector<i64>>& Workspace::k_lists(i64 n) {
   k_lists_.resize(static_cast<std::size_t>(n));
   for (auto& l : k_lists_) l.clear();
   return k_lists_;
+}
+
+std::vector<SparseTileRef>& Workspace::tile_refs() {
+  tile_refs_.clear();
+  return tile_refs_;
 }
 
 u64* Workspace::acc_lanes(i64 lanes) {
@@ -31,7 +31,7 @@ u64* Workspace::acc_lanes(i64 lanes) {
 
 std::size_t Workspace::footprint_bytes() const {
   std::size_t b = static_cast<std::size_t>(padded_acc_.size()) * sizeof(i32) +
-                  k_list_.capacity() * sizeof(i64) +
+                  tile_refs_.capacity() * sizeof(SparseTileRef) +
                   acc_lanes_.size() * sizeof(u64);
   for (const auto& l : k_lists_) b += l.capacity() * sizeof(i64);
   return b;

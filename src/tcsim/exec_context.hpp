@@ -36,11 +36,12 @@ class Workspace {
   /// shape growth/change; the engine's same-shaped batches hit the cache).
   MatrixI32& padded_acc(i64 rows, i64 cols);
 
-  /// Cleared surviving-K-tile list (per row block, inside parallel loops).
-  std::vector<i64>& k_list();
-
   /// `n` cleared K-tile lists (one per row block, shared across the N sweep).
   std::vector<std::vector<i64>>& k_lists(i64 n);
+
+  /// Cleared sparse-schedule entry list (per row block, inside parallel
+  /// loops) — the operand of SubstrateBackend::mma_tile_list.
+  std::vector<SparseTileRef>& tile_refs();
 
   /// Uninitialised, 64-byte-aligned u64 tile-accumulator scratch.
   u64* acc_lanes(i64 lanes);
@@ -50,8 +51,8 @@ class Workspace {
 
  private:
   MatrixI32 padded_acc_;
-  std::vector<i64> k_list_;
   std::vector<std::vector<i64>> k_lists_;
+  std::vector<SparseTileRef> tile_refs_;
   AlignedVector<u64> acc_lanes_;
 };
 

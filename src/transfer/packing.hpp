@@ -6,6 +6,7 @@
 #pragma once
 
 #include "bittensor/stacked.hpp"
+#include "bittensor/tile_sparse.hpp"
 #include "transfer/pcie.hpp"
 
 namespace qgtc::transfer {
@@ -24,6 +25,16 @@ struct PackedSubgraph {
 PackedSubgraph pack_batch(const BitMatrix& adjacency,
                           const StackedBitTensor& embeddings,
                           StagingBuffer& staging, const PcieModel& pcie);
+
+/// Tile-sparse variant: ships only the stored tile payloads plus their u32
+/// column indices and row offsets, so `adjacency_bytes` shrinks from the
+/// dense plane (pad8(N) * pad128(N) / 8) to
+///   nnz_tiles * 128 + (nnz_tiles + tiles_m + 1) * 4
+/// — ~the nonzero-tile ratio of the dense footprint (§4.6 accounting on the
+/// true nonzero working set).
+PackedSubgraph pack_batch_tiles(const TileSparseBitMatrix& adjacency,
+                                const StackedBitTensor& embeddings,
+                                StagingBuffer& staging, const PcieModel& pcie);
 
 /// Baseline accounting (paper's "basic approach"): dense fp32 adjacency plus
 /// a standalone fp32 embedding transfer (two transfers, two latencies).

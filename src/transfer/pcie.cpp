@@ -6,8 +6,10 @@ namespace qgtc::transfer {
 
 i64 StagingBuffer::stage(const void* src, i64 bytes) {
   const i64 offset = static_cast<i64>(data_.size());
-  data_.resize(static_cast<std::size_t>(offset + bytes));
-  std::memcpy(data_.data() + offset, src, static_cast<std::size_t>(bytes));
+  if (bytes > 0) {
+    data_.resize(static_cast<std::size_t>(offset + bytes));
+    std::memcpy(data_.data() + offset, src, static_cast<std::size_t>(bytes));
+  }
   return offset;
 }
 
