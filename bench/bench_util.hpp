@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/mem.hpp"
 #include "core/engine.hpp"
 #include "core/stats.hpp"
 
@@ -165,5 +166,14 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::string> rows_;
 };
+
+/// Standard process-memory metadata for bench JSON output: the kernel's own
+/// peak-RSS high-water next to whatever per-row prepared-bytes accounting
+/// the bench reports (call right before the report is written, so the
+/// high-water covers the benched work).
+inline void add_memory_meta(JsonReport& json) {
+  json.meta("vm_hwm_bytes", static_cast<double>(vm_hwm_bytes()));
+  json.meta("vm_rss_bytes", static_cast<double>(vm_rss_bytes()));
+}
 
 }  // namespace qgtc::bench

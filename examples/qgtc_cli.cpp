@@ -5,16 +5,21 @@
 //            [--partitions N | --autotune] [--batch B] [--layers L]
 //            [--hidden H] [--rounds R] [--backend scalar|simd|blocked]
 //            [--threads T] [--sparse-adj|--dense-adj]
+//            [--streaming] [--pipeline-depth D] [--prepare-threads P]
 //            [--save-dataset file.bin] [--load-dataset file.bin]
 //
 // Prints epoch latency for the quantized and fp32 paths, substrate
-// counters, zero-tile stats and transfer accounting (including the per-run
+// counters, zero-tile stats, transfer accounting (including the per-run
 // nonzero-tile ratio and adjacency bytes, so the tile-sparse path is
-// inspectable end-to-end). --autotune enables --sparse-adj automatically.
+// inspectable end-to-end), and memory accounting (peak prepared bytes +
+// process peak RSS). --autotune enables --sparse-adj automatically and
+// picks streaming/pipeline-depth from the device profile; explicit flags
+// always win.
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/mem.hpp"
 #include "core/autotune.hpp"
 #include "core/engine.hpp"
 #include "core/stats.hpp"
@@ -34,6 +39,9 @@ struct Args {
   bool autotune = false;
   bool sparse_adj = false;
   bool dense_adj = false;
+  bool streaming = false;
+  int pipeline_depth = 0;   // 0 = unset (engine default, or autotuned)
+  int prepare_threads = 0;  // 0 = unset
   std::string backend;  // empty = engine default (QGTC_BACKEND or blocked)
   int threads = 0;      // 0 = unset (engine default, or autotuned)
   std::string save_path;
@@ -44,6 +52,7 @@ void usage() {
   std::cout << "usage: qgtc_cli [--dataset NAME] [--model gcn|gin]\n"
                "  [--bits B] [--partitions N] [--batch B] [--layers L]\n"
                "  [--hidden H] [--rounds R] [--autotune] [--sparse-adj|--dense-adj]\n"
+               "  [--streaming] [--pipeline-depth D] [--prepare-threads P]\n"
                "  [--backend scalar|simd|blocked] [--threads T]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
@@ -68,6 +77,9 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--autotune") a.autotune = true;
     else if (flag == "--sparse-adj") a.sparse_adj = true;
     else if (flag == "--dense-adj") a.dense_adj = true;
+    else if (flag == "--streaming") a.streaming = true;
+    else if (flag == "--pipeline-depth") a.pipeline_depth = std::atoi(next());
+    else if (flag == "--prepare-threads") a.prepare_threads = std::atoi(next());
     else if (flag == "--backend") a.backend = next();
     else if (flag == "--threads") a.threads = std::atoi(next());
     else if (flag == "--save-dataset") a.save_path = next();
@@ -127,12 +139,20 @@ int main(int argc, char** argv) {
               << " inter-batch threads, "
               << (cfg.sparse_adj ? "tile-sparse" : "dense")
               << " adjacency (~" << tuned.batch_bytes_estimate / 1000000
-              << " MB/batch)\n";
+              << " MB/batch), "
+              << (cfg.streaming ? "streaming (depth " +
+                                      std::to_string(cfg.pipeline_depth) + ")"
+                                : "precomputed")
+              << " epoch (~" << tuned.epoch_bytes_estimate / 1000000
+              << " MB materialised)\n";
   }
   // Explicit flags beat both the defaults and the autotuner (--dense-adj
   // forces the dense+flag-jump baseline even under --autotune).
   if (args.sparse_adj) cfg.sparse_adj = true;
   if (args.dense_adj) cfg.sparse_adj = false;
+  if (args.streaming) cfg.streaming = true;
+  if (args.pipeline_depth > 0) cfg.pipeline_depth = args.pipeline_depth;
+  if (args.prepare_threads > 0) cfg.prepare_threads = args.prepare_threads;
   if (!args.backend.empty()) {
     try {
       cfg.backend = tcsim::parse_backend(args.backend);
@@ -155,6 +175,12 @@ int main(int argc, char** argv) {
   table.add_row({"backend", q.backend});
   table.add_row({"adjacency format",
                  cfg.sparse_adj ? "tile-sparse (CSR)" : "dense + jump map"});
+  table.add_row({"epoch mode",
+                 cfg.streaming
+                     ? "streaming (depth " + std::to_string(cfg.pipeline_depth) +
+                           ", " + std::to_string(q.prepare_threads) +
+                           " prepare threads)"
+                     : "precomputed"});
   table.add_row({"inter-batch threads", std::to_string(q.inter_batch_threads)});
   table.add_row({"batches", std::to_string(q.batches)});
   table.add_row({"nodes/epoch", std::to_string(q.nodes)});
@@ -171,6 +197,16 @@ int main(int argc, char** argv) {
                  core::TablePrinter::fmt(static_cast<double>(t.packed_bytes) / 1e6, 1)});
   table.add_row({"dense transfer MB",
                  core::TablePrinter::fmt(static_cast<double>(t.dense_bytes) / 1e6, 1)});
+  if (cfg.streaming) {
+    table.add_row({"wire ms/epoch (inline)",
+                   core::TablePrinter::fmt(q.packed_transfer_seconds * 1e3, 2)});
+    table.add_row({"exposed transfer ms",
+                   core::TablePrinter::fmt(q.exposed_transfer_seconds * 1e3, 2)});
+  }
+  table.add_row({"peak prepared MB",
+                 core::TablePrinter::fmt(static_cast<double>(q.peak_prepared_bytes) / 1e6, 2)});
+  table.add_row({"peak RSS MB",
+                 core::TablePrinter::fmt(static_cast<double>(vm_hwm_bytes()) / 1e6, 1)});
   table.print(std::cout);
   return 0;
 }

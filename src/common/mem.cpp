@@ -1,0 +1,38 @@
+#include "common/mem.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace qgtc {
+
+namespace {
+
+/// Reads a "Vm...: N kB" line from /proc/self/status; 0 when absent.
+i64 proc_status_kb(const char* key) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long long kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      if (std::sscanf(line + key_len + 1, "%lld", &kb) != 1) kb = 0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<i64>(kb) * 1024;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+i64 vm_hwm_bytes() { return proc_status_kb("VmHWM"); }
+
+i64 vm_rss_bytes() { return proc_status_kb("VmRSS"); }
+
+}  // namespace qgtc

@@ -1,0 +1,18 @@
+// Process-memory instrumentation for the bounded-memory streaming pipeline:
+// the peak-resident-bytes drop is a tracked bench metric, not a claim, so the
+// engine and benches read the kernel's own high-water mark alongside the
+// engine's prepared-bytes accounting.
+#pragma once
+
+#include "common/defs.hpp"
+
+namespace qgtc {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 when the platform has no procfs.
+[[nodiscard]] i64 vm_hwm_bytes();
+
+/// Current resident set size in bytes (VmRSS). 0 when unavailable.
+[[nodiscard]] i64 vm_rss_bytes();
+
+}  // namespace qgtc

@@ -65,6 +65,30 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
       std::max<i64>(ceil_div(t.num_partitions, t.batch_size), 1);
   t.inter_batch_threads = static_cast<int>(std::clamp<i64>(
       std::min<i64>(dev.parallel_units, num_threads()), 1, batches_per_epoch));
+
+  // Streaming pipeline knobs. Precomputed mode holds the whole epoch
+  // resident; when that estimate exceeds the precompute budget, tuned runs
+  // switch to the streaming executor and size its queues so the in-flight
+  // window (~2*depth + workers batches, see pipeline.hpp) stays inside the
+  // same budget.
+  t.epoch_bytes_estimate = batches_per_epoch * t.batch_bytes_estimate;
+  t.streaming = t.epoch_bytes_estimate > mem_budget;
+  const i64 batches_in_budget =
+      mem_budget / std::max<i64>(t.batch_bytes_estimate, 1);
+  // Prepare workers: host threads not already staffing the compute stage,
+  // capped — every prepare worker holds one fully-built batch while blocked
+  // on a full queue, so oversubscribing prepare inflates the in-flight
+  // window the depth bound below must cover.
+  t.prepare_threads = static_cast<int>(std::clamp<i64>(
+      num_threads() - t.inter_batch_threads, 1,
+      std::min<i64>(batches_per_epoch, 8)));
+  // Queue depth: the peak in-flight window is ~2*depth + prepare_workers +
+  // compute_workers + 1 batches (both queues full plus one batch in each
+  // stage's hands — see pipeline.hpp). Solve that for the budget.
+  const i64 depth =
+      (batches_in_budget - t.prepare_threads - t.inter_batch_threads - 1) / 2;
+  t.pipeline_depth =
+      static_cast<int>(std::clamp<i64>(depth, 1, std::min<i64>(batches_per_epoch, 8)));
   return t;
 }
 
@@ -73,6 +97,9 @@ void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.batch_size = tuned.batch_size;
   cfg.inter_batch_threads = tuned.inter_batch_threads;
   cfg.sparse_adj = tuned.sparse_adj;
+  cfg.streaming = tuned.streaming;
+  cfg.pipeline_depth = tuned.pipeline_depth;
+  cfg.prepare_threads = tuned.prepare_threads;
 }
 
 }  // namespace qgtc::core

@@ -37,6 +37,19 @@ struct TunedConfig {
   /// Callers wanting the dense baseline pass sparse_adj=false to the tuner
   /// so batch sizing follows the dense memory model.
   bool sparse_adj = true;
+  /// Streaming pipeline knobs (bit-identical either way). `streaming` turns
+  /// on when materialising the whole epoch would blow the device's
+  /// precompute budget — large datasets degrade to O(pipeline_depth)
+  /// residency instead of failing allocation. `pipeline_depth` is how many
+  /// per-batch footprints fit a conservative slice of device memory;
+  /// `prepare_threads` are the host threads left over after the compute
+  /// stage is staffed.
+  bool streaming = false;
+  int pipeline_depth = 2;
+  int prepare_threads = 1;
+  /// Estimated bytes of the fully-materialised epoch (what precomputed mode
+  /// would hold resident).
+  i64 epoch_bytes_estimate = 0;
 };
 
 /// Deterministically derives engine knobs from dataset shape + profile.

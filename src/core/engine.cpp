@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/mem.hpp"
 #include "common/timer.hpp"
-#include "kernels/zerotile.hpp"
+#include "core/pipeline.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace qgtc::core {
@@ -15,6 +16,8 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
              "model in_dim must match dataset feature dim");
   QGTC_CHECK(cfg.model.out_dim == dataset.spec.num_classes,
              "model out_dim must match dataset class count");
+  QGTC_CHECK(cfg.pipeline_depth >= 1, "pipeline_depth must be >= 1");
+  QGTC_CHECK(cfg.prepare_threads >= 1, "prepare_threads must be >= 1");
 
   const PartitionResult parts =
       partition_graph(dataset.graph, cfg.num_partitions, {});
@@ -22,35 +25,40 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
 
   model_ = gnn::QgtcModel::create(cfg.model, cfg.seed);
 
-  data_.reserve(batches_.size());
-  for (const SubgraphBatch& b : batches_) {
-    BatchData bd;
-    bd.batch = b;
-    // The tile-CSR adjacency is always built — straight from the global CSR,
-    // never through a dense intermediate. Dense mode derives its plane and
-    // flag map from the tile-CSR (one edge walk total; the flag census is
-    // structural, not a rescan).
-    bd.adj_tiles =
-        build_batch_adjacency_tiles(dataset.graph, b, /*add_self_loops=*/true);
-    if (!cfg.sparse_adj) {
-      bd.adj = bd.adj_tiles.to_bit_matrix();
-      bd.tile_map = build_tile_map(bd.adj_tiles);
-    }
-    bd.local = build_batch_csr(dataset.graph, b, /*add_self_loops=*/true);
-    bd.features = gather_rows(dataset.features, b.nodes);
-    bd.x_planes = model_.prepare_input(bd.features);
-    data_.push_back(std::move(bd));
-  }
-
-  // Requantization shifts come from one representative batch (§4.5's fused
-  // epilogue needs them fixed before inference).
-  if (!data_.empty()) {
+  // Calibration is hoisted ahead of any epoch pipeline: the representative
+  // batch is prepared first and fixes the requantization shifts (§4.5's
+  // fused epilogue needs them before inference). prepare_batch does not
+  // depend on calibration state, so hoisting preserves bit-identity — and
+  // streaming mode needs the shifts before its first compute stage runs.
+  if (!batches_.empty()) {
+    BatchData front = prepare_batch(0, /*build_fp32_csr=*/!cfg.streaming);
     if (cfg.sparse_adj) {
-      model_.calibrate(data_.front().adj_tiles, data_.front().features);
+      model_.calibrate(front.adj_tiles, front.features);
     } else {
-      model_.calibrate(data_.front().adj, data_.front().features);
+      model_.calibrate(front.adj, front.features);
+    }
+    if (!cfg.streaming) {
+      // Precomputed mode materialises the whole epoch up front (untimed
+      // preprocessing); the calibration batch is reused as batch 0.
+      data_.reserve(batches_.size());
+      data_.push_back(std::move(front));
+      for (i64 i = 1; i < num_batches(); ++i) {
+        data_.push_back(prepare_batch(i));
+      }
     }
   }
+}
+
+QgtcEngine::BatchData QgtcEngine::prepare_batch(i64 i,
+                                                bool build_fp32_csr) const {
+  QGTC_CHECK(i >= 0 && i < num_batches(), "batch index out of range");
+  BatchData bd;
+  static_cast<PreparedBatch&>(bd) = prepare_batch_data(
+      dataset_->graph, dataset_->features,
+      batches_[static_cast<std::size_t>(i)], cfg_.sparse_adj,
+      /*add_self_loops=*/true, build_fp32_csr);
+  bd.x_planes = model_.prepare_input(bd.features);
+  return bd;
 }
 
 void QgtcEngine::set_execution(tcsim::BackendKind backend,
@@ -65,15 +73,46 @@ namespace {
 int epoch_workers(int requested, i64 batches) {
   return static_cast<int>(std::clamp<i64>(requested, 1, std::max<i64>(batches, 1)));
 }
+
+/// Packs an already-prepared batch into `slot` — the pack-into-slot dispatch
+/// the streaming ship stage and transfer accounting share. Ships the
+/// *prepared* input planes as-is: the host quantized and decomposed the
+/// features exactly once, so the bytes on the wire are byte-for-byte the
+/// bytes the device computes on (no re-quantization on the transfer path).
+transfer::PackedSubgraph pack_prepared(const QgtcEngine::BatchData& bd,
+                                       bool sparse_adj,
+                                       transfer::StagingBuffer& slot,
+                                       const transfer::PcieModel& pcie) {
+  return sparse_adj
+             ? transfer::pack_batch_tiles(bd.adj_tiles, bd.x_planes, slot, pcie)
+             : transfer::pack_batch(bd.adj, bd.x_planes, slot, pcie);
+}
+
+/// Execution-setup stamp shared by both run paths.
+void stamp_execution(EngineStats& stats, const EngineConfig& cfg, int workers) {
+  stats.backend = tcsim::backend_name(cfg.backend);
+  stats.inter_batch_threads = workers;
+  stats.streaming = cfg.streaming;
+  stats.pipeline_depth = cfg.streaming ? cfg.pipeline_depth : 0;
+  stats.vm_hwm_bytes = vm_hwm_bytes();
+}
 }  // namespace
 
-EngineStats QgtcEngine::run_quantized(int rounds) {
+EngineStats QgtcEngine::run_quantized(int rounds,
+                                      std::vector<MatrixI32>* logits_out) {
   QGTC_CHECK(rounds >= 1, "rounds must be >= 1");
+  if (logits_out != nullptr) {
+    logits_out->assign(static_cast<std::size_t>(num_batches()), MatrixI32{});
+  }
+  return cfg_.streaming ? run_quantized_streaming(rounds, logits_out)
+                        : run_quantized_precomputed(rounds, logits_out);
+}
+
+EngineStats QgtcEngine::run_quantized_precomputed(
+    int rounds, std::vector<MatrixI32>* logits_out) {
   EngineStats stats;
   stats.batches = num_batches();
   const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
-  stats.backend = tcsim::backend_name(cfg_.backend);
-  stats.inter_batch_threads = workers;
 
   // One private-counter context per worker. Every batch's substrate
   // accounting lands in exactly one context; the post-epoch merge is a sum
@@ -87,12 +126,14 @@ EngineStats QgtcEngine::run_quantized(int rounds) {
     parallel_for_workers(0, num_batches(), workers, [&](i64 i, int w) {
       const BatchData& bd = data_[static_cast<std::size_t>(i)];
       tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
-      if (cfg_.sparse_adj) {
-        (void)model_.forward_prepared(bd.adj_tiles, bd.x_planes,
-                                      /*stats=*/nullptr, &ctx);
-      } else {
-        (void)model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
-                                      /*stats=*/nullptr, &ctx);
+      MatrixI32 logits =
+          cfg_.sparse_adj
+              ? model_.forward_prepared(bd.adj_tiles, bd.x_planes,
+                                        /*stats=*/nullptr, &ctx)
+              : model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
+                                        /*stats=*/nullptr, &ctx);
+      if (logits_out != nullptr) {
+        (*logits_out)[static_cast<std::size_t>(i)] = std::move(logits);
       }
     });
   };
@@ -105,11 +146,96 @@ EngineStats QgtcEngine::run_quantized(int rounds) {
   for (int r = 0; r < rounds; ++r) epoch();
   stats.forward_seconds = t.seconds() / rounds;
 
-  for (const BatchData& bd : data_) stats.nodes += bd.batch.size();
+  for (const BatchData& bd : data_) {
+    stats.nodes += bd.batch.size();
+    stats.peak_prepared_bytes += bd.prepared_bytes();  // whole epoch resident
+  }
   tcsim::Counters total;
   for (const auto& ctx : ctxs) total += ctx.counters();
   stats.tiles_jumped = static_cast<i64>(total.tiles_jumped) / rounds;
   stats.bmma_ops = static_cast<i64>(total.bmma_ops) / rounds;
+  stamp_execution(stats, cfg_, workers);
+  return stats;
+}
+
+EngineStats QgtcEngine::run_quantized_streaming(
+    int rounds, std::vector<MatrixI32>* logits_out) {
+  EngineStats stats;
+  stats.batches = num_batches();
+  const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
+  const int preparers = epoch_workers(cfg_.prepare_threads, num_batches());
+  stats.prepare_threads = preparers;
+
+  std::deque<tcsim::ExecutionContext> ctxs;
+  for (int w = 0; w < workers; ++w) {
+    ctxs.emplace_back(cfg_.backend, /*private_counters=*/true);
+  }
+
+  const transfer::PcieModel pcie;
+  StreamEpochConfig pcfg;
+  pcfg.num_batches = num_batches();
+  pcfg.depth = cfg_.pipeline_depth;
+  pcfg.prepare_workers = preparers;
+  pcfg.compute_workers = workers;
+  // The ring outlives the per-epoch pipeline so the warm-up epoch grows the
+  // staging slots once and timed epochs reuse their capacity.
+  transfer::StagingRing ring(2);
+
+  const auto epoch = [&] {
+    return run_stream_epoch<BatchData>(
+        pcfg, ring,
+        /*prepare=*/
+        [&](i64 i) { return prepare_batch(i, /*build_fp32_csr=*/false); },
+        /*bytes=*/
+        [](const BatchData& bd) { return bd.prepared_bytes(); },
+        /*ship=*/
+        [&](BatchData& bd, transfer::StagingBuffer& slot) {
+          return pack_prepared(bd, cfg_.sparse_adj, slot, pcie);
+        },
+        /*compute=*/
+        [&](const BatchData& bd, i64 i, int w) {
+          tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
+          MatrixI32 logits =
+              cfg_.sparse_adj
+                  ? model_.forward_prepared(bd.adj_tiles, bd.x_planes,
+                                            /*stats=*/nullptr, &ctx)
+                  : model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
+                                            /*stats=*/nullptr, &ctx);
+          if (logits_out != nullptr) {
+            (*logits_out)[static_cast<std::size_t>(i)] = std::move(logits);
+          }
+        });
+  };
+
+  // Warm-up epoch (arena growth, staging-slot capacity, OS page faults),
+  // mirroring the precomputed timing protocol.
+  (void)epoch();
+  for (auto& ctx : ctxs) ctx.reset_counters();
+
+  for (int r = 0; r < rounds; ++r) {
+    const StreamEpochStats es = epoch();
+    stats.forward_seconds += es.epoch_seconds;
+    stats.packed_bytes += es.packed_bytes;
+    stats.adj_bytes += es.adj_bytes;
+    stats.packed_transfer_seconds += es.wire_seconds;
+    stats.exposed_transfer_seconds += es.exposed_seconds;
+    stats.peak_prepared_bytes =
+        std::max(stats.peak_prepared_bytes, es.peak_prepared_bytes);
+    stats.staging_capacity_bytes =
+        std::max(stats.staging_capacity_bytes, es.staging_capacity_bytes);
+  }
+  stats.forward_seconds /= rounds;
+  stats.packed_bytes /= rounds;
+  stats.adj_bytes /= rounds;
+  stats.packed_transfer_seconds /= rounds;
+  stats.exposed_transfer_seconds /= rounds;
+
+  for (const SubgraphBatch& b : batches_) stats.nodes += b.size();
+  tcsim::Counters total;
+  for (const auto& ctx : ctxs) total += ctx.counters();
+  stats.tiles_jumped = static_cast<i64>(total.tiles_jumped) / rounds;
+  stats.bmma_ops = static_cast<i64>(total.bmma_ops) / rounds;
+  stamp_execution(stats, cfg_, workers);
   return stats;
 }
 
@@ -119,38 +245,44 @@ EngineStats QgtcEngine::run_fp32(int rounds) {
   stats.batches = num_batches();
   const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
   stats.inter_batch_threads = workers;
+  stats.streaming = cfg_.streaming;
   const auto epoch = [&] {
     parallel_for_workers(0, num_batches(), workers, [&](i64 i, int) {
-      const BatchData& bd = data_[static_cast<std::size_t>(i)];
-      (void)model_.forward_fp32(bd.local, bd.features);
+      if (cfg_.streaming) {
+        // Bounded memory: each worker builds only the fp32 inputs its batch
+        // needs and drops them at the end of the iteration.
+        const SubgraphBatch& b = batches_[static_cast<std::size_t>(i)];
+        const CsrGraph local =
+            build_batch_csr(dataset_->graph, b, /*add_self_loops=*/true);
+        const MatrixF features = gather_rows(dataset_->features, b.nodes);
+        (void)model_.forward_fp32(local, features);
+      } else {
+        const BatchData& bd = data_[static_cast<std::size_t>(i)];
+        (void)model_.forward_fp32(bd.local, bd.features);
+      }
     });
   };
   epoch();
   Timer t;
   for (int r = 0; r < rounds; ++r) epoch();
   stats.forward_seconds = t.seconds() / rounds;
-  for (const BatchData& bd : data_) stats.nodes += bd.batch.size();
+  for (const SubgraphBatch& b : batches_) stats.nodes += b.size();
   return stats;
 }
 
 EngineStats QgtcEngine::transfer_accounting() const {
   EngineStats stats;
   stats.batches = num_batches();
+  stats.streaming = cfg_.streaming;
   transfer::PcieModel pcie;
   transfer::StagingBuffer staging;
-  for (const BatchData& bd : data_) {
-    // Packed path: 1-bit adjacency + s-bit embedding planes as one compound
-    // object. Sparse mode ships the tile-CSR (payload + indices) instead of
-    // the dense bit plane.
-    const QuantParams qp =
-        quant_params_from_data(bd.features, cfg_.model.feat_bits);
-    const MatrixI32 q = quantize_matrix(bd.features, qp);
-    const auto planes = StackedBitTensor::decompose(
-        q, cfg_.model.feat_bits, BitLayout::kColMajorK, PadPolicy::kTile8);
-    const auto packed =
-        cfg_.sparse_adj
-            ? transfer::pack_batch_tiles(bd.adj_tiles, planes, staging, pcie)
-            : transfer::pack_batch(bd.adj, planes, staging, pcie);
+  // Packed path: 1-bit adjacency + s-bit embedding planes as one compound
+  // object, shipping the *prepared* input planes byte-for-byte (the host
+  // quantizes and decomposes exactly once, in prepare_batch — nothing is
+  // re-derived here). Sparse mode ships the tile-CSR instead of the dense
+  // bit plane.
+  const auto account = [&](const BatchData& bd) {
+    const auto packed = pack_prepared(bd, cfg_.sparse_adj, staging, pcie);
     stats.packed_bytes += packed.total_bytes;
     stats.packed_transfer_seconds += packed.modeled_seconds;
     stats.adj_bytes += packed.adjacency_bytes;
@@ -159,6 +291,15 @@ EngineStats QgtcEngine::transfer_accounting() const {
         bd.batch.size(), dataset_->spec.feature_dim, pcie);
     stats.dense_bytes += dense.total_bytes;
     stats.dense_transfer_seconds += dense.modeled_seconds;
+  };
+  if (cfg_.streaming) {
+    // One batch resident at a time — accounting stays inside the streaming
+    // memory budget (the fp32-only CSR is not part of the packed payload).
+    for (i64 i = 0; i < num_batches(); ++i) {
+      account(prepare_batch(i, /*build_fp32_csr=*/false));
+    }
+  } else {
+    for (const BatchData& bd : data_) account(bd);
   }
   return stats;
 }
@@ -166,9 +307,17 @@ EngineStats QgtcEngine::transfer_accounting() const {
 double QgtcEngine::nonzero_tile_ratio() const {
   // The tile-CSR knows its census structurally — no per-batch dense rescan.
   i64 total = 0, nonzero = 0;
-  for (const BatchData& bd : data_) {
-    total += bd.adj_tiles.total_tiles();
-    nonzero += bd.adj_tiles.nnz_tiles();
+  const auto census = [&](const TileSparseBitMatrix& tiles) {
+    total += tiles.total_tiles();
+    nonzero += tiles.nnz_tiles();
+  };
+  if (cfg_.streaming) {
+    for (const SubgraphBatch& b : batches_) {
+      census(build_batch_adjacency_tiles(dataset_->graph, b,
+                                         /*add_self_loops=*/true));
+    }
+  } else {
+    for (const BatchData& bd : data_) census(bd.adj_tiles);
   }
   return total == 0 ? 0.0
                     : static_cast<double>(nonzero) / static_cast<double>(total);

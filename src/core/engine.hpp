@@ -3,11 +3,22 @@
 // transfer -> per-batch quantized GNN inference on the tensor-core
 // substrate, with the fp32 DGL-substitute path available for comparison.
 //
-// Like the paper's evaluation (§6, artifact appendix), reported inference
-// time covers the quantized forward pass over all batches; partitioning,
-// feature generation and weight preparation are one-time preprocessing and
-// excluded. Host->device transfer is accounted separately via the PCIe
-// model.
+// Two execution modes share one bit-identical per-batch prepare path
+// (`prepare_batch_data` + `QgtcModel::prepare_input`):
+//
+// * **Precomputed** (legacy, default): every batch's adjacency tiles, dense
+//   plane, local CSR, fp32 features and quantized planes are materialised up
+//   front (untimed preprocessing, O(epoch) resident); reported inference
+//   time covers the quantized forward pass only, and host->device transfer
+//   is accounted post-hoc via `transfer_accounting()` — the paper's §6
+//   timing protocol.
+// * **Streaming** (`EngineConfig::streaming`): one epoch flows through the
+//   three-stage prepare/ship/compute pipeline (`core/pipeline.hpp`) with
+//   bounded queues, so peak memory is O(pipeline_depth) batches and the
+//   PCIe model is charged inline on the timed path, with overlap accounting
+//   (`exposed_transfer_seconds`). Logits, `bmma_ops`, `tiles_jumped` and
+//   `nodes` are bit-identical to precomputed mode in every backend ×
+//   adjacency-layout combination.
 #pragma once
 
 #include <vector>
@@ -27,7 +38,8 @@ struct EngineConfig {
   tcsim::BackendKind backend = tcsim::default_backend();
   /// Partition-batches executed concurrently by run_quantized / run_fp32
   /// (each worker owns a private ExecutionContext; counters and stats merge
-  /// deterministically). 1 = the sequential legacy schedule.
+  /// deterministically). 1 = the sequential legacy schedule. In streaming
+  /// mode this is the compute-stage worker count.
   int inter_batch_threads = 1;
   /// Structural sparsity: store, schedule and ship each batch adjacency as a
   /// tile-CSR (only nonzero 8x128 tiles) instead of a dense BitMatrix + flag
@@ -35,17 +47,31 @@ struct EngineConfig {
   /// shrink to ~the nonzero-tile ratio (Figure 8). Default off so the dense
   /// baseline/ablation paths stay directly comparable.
   bool sparse_adj = false;
+  /// Streaming mode: batches are prepared lazily and flow through the
+  /// bounded prepare/ship/compute pipeline instead of being materialised for
+  /// the whole epoch. Datasets larger than the precompute budget become a
+  /// config knob, not a crash.
+  bool streaming = false;
+  /// Capacity of each inter-stage queue in streaming mode — the peak-memory
+  /// bound is ~(2*depth + workers) live batches.
+  int pipeline_depth = 2;
+  /// Prepare-stage workers in streaming mode (host-side batch construction).
+  int prepare_threads = 1;
 };
 
 struct EngineStats {
-  // Forward-pass wall time over one full epoch (all batches), seconds.
+  // Forward-pass wall time over one full epoch (all batches), seconds. In
+  // streaming mode this is the full pipeline wall time: prepare, packed
+  // transfer and compute, overlapped.
   double forward_seconds = 0.0;
   i64 batches = 0;
   i64 nodes = 0;
   // Substrate counters accumulated over the epoch.
   i64 tiles_jumped = 0;
   i64 bmma_ops = 0;
-  // Transfer accounting (bytes staged + modelled PCIe seconds).
+  // Transfer accounting (bytes staged + modelled PCIe seconds). Filled
+  // post-hoc by transfer_accounting(); in streaming mode run_quantized also
+  // fills them inline, per epoch.
   i64 packed_bytes = 0;
   double packed_transfer_seconds = 0.0;
   i64 dense_bytes = 0;
@@ -53,15 +79,33 @@ struct EngineStats {
   // Adjacency share of the packed payload (tile-CSR bytes in sparse mode,
   // the dense bit plane otherwise).
   i64 adj_bytes = 0;
+  // Overlap accounting (streaming mode): modelled wire time NOT hidden
+  // behind compute on the two-engine replay (see pipeline.hpp). 0 in
+  // precomputed mode, where transfers are entirely post-hoc.
+  double exposed_transfer_seconds = 0.0;
+  // Peak bytes of simultaneously-live prepared batch data: the whole epoch
+  // in precomputed mode, the O(pipeline_depth) high-water in streaming mode.
+  i64 peak_prepared_bytes = 0;
+  // Staging-slot allocation high-water (streaming ship stage).
+  i64 staging_capacity_bytes = 0;
+  // Kernel-reported process peak RSS (VmHWM), for bench JSON output.
+  i64 vm_hwm_bytes = 0;
   // Execution setup the run used (for reporting / JSON bench output).
   const char* backend = "";
   int inter_batch_threads = 1;
+  bool streaming = false;
+  int pipeline_depth = 0;
+  int prepare_threads = 0;
 };
 
 class QgtcEngine {
  public:
-  /// Prepares partitions, batches, per-batch adjacencies/features and the
-  /// calibrated quantized model. All of this is preprocessing (untimed).
+  /// Prepares partitions, batches and the calibrated quantized model; in
+  /// precomputed mode also materialises every batch's data (all of this is
+  /// preprocessing, untimed). Calibration is hoisted in both modes: the
+  /// representative batch is prepared first and calibrated before any
+  /// pipeline starts, so streaming and precomputed runs quantize with
+  /// identical shifts.
   QgtcEngine(const Dataset& dataset, const EngineConfig& cfg);
 
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
@@ -73,39 +117,61 @@ class QgtcEngine {
   void set_execution(tcsim::BackendKind backend, int inter_batch_threads);
 
   /// Quantized QGTC inference over every batch, `rounds` epochs averaged.
-  EngineStats run_quantized(int rounds = 1);
+  /// When `logits_out` is non-null it receives each batch's int32 logits
+  /// (indexed by batch), captured identically in both modes — the
+  /// streaming-equivalence test surface.
+  EngineStats run_quantized(int rounds = 1,
+                            std::vector<MatrixI32>* logits_out = nullptr);
 
   /// fp32 DGL-substitute inference over every batch.
   EngineStats run_fp32(int rounds = 1);
 
   /// Transfer accounting for the whole epoch (packed vs dense fp32, §4.6).
+  /// Ships the batches' *prepared* planes — the exact bytes the device
+  /// computes on; nothing is re-quantized on the accounting path. Streaming
+  /// engines prepare one batch at a time here (bounded memory).
   EngineStats transfer_accounting() const;
 
   /// Zero-tile census across every batch adjacency (Figure 8's metric).
   [[nodiscard]] double nonzero_tile_ratio() const;
 
-  /// Per-batch prepared data, exposed for the ablation/zero-tile benches.
-  struct BatchData {
-    SubgraphBatch batch;
-    /// Tile-CSR adjacency, built straight from the global CSR (always
-    /// present — it costs ~the nonzero-tile ratio of the dense plane).
-    TileSparseBitMatrix adj_tiles;
-    BitMatrix adj;      // dense binary adjacency (empty when cfg.sparse_adj)
-    TileMap tile_map;   // cached zero-tile map of adj (dense mode only)
-    CsrGraph local;     // same adjacency as CSR (fp32 baseline path)
-    MatrixF features;   // gathered fp32 features
-    StackedBitTensor x_planes;  // host-packed quantized input (§4.6)
+  /// Per-batch prepared data: the graph-side `PreparedBatch` plus the
+  /// host-packed quantized input planes (§4.6).
+  struct BatchData : PreparedBatch {
+    StackedBitTensor x_planes;
+    [[nodiscard]] i64 prepared_bytes() const {
+      return PreparedBatch::prepared_bytes() + x_planes.bytes();
+    }
   };
+
+  /// Builds batch `i`'s complete data from the global CSR + features — the
+  /// single prepare entry point both modes run (precomputed at construction,
+  /// streaming inside the pipeline's prepare stage). `build_fp32_csr=false`
+  /// skips the fp32-only local CSR; the quantized streaming pipeline and
+  /// the transfer accounting never read it.
+  [[nodiscard]] BatchData prepare_batch(i64 i, bool build_fp32_csr = true) const;
+
+  /// Precomputed mode only: the materialised per-batch data (exposed for
+  /// the ablation/zero-tile benches). Throws in streaming mode, which never
+  /// holds a full epoch.
   [[nodiscard]] const std::vector<BatchData>& batch_data() const {
+    QGTC_CHECK(!cfg_.streaming,
+               "batch_data() is precomputed-mode only; streaming engines "
+               "never materialise the epoch");
     return data_;
   }
 
  private:
+  EngineStats run_quantized_precomputed(int rounds,
+                                        std::vector<MatrixI32>* logits_out);
+  EngineStats run_quantized_streaming(int rounds,
+                                      std::vector<MatrixI32>* logits_out);
+
   EngineConfig cfg_;
   const Dataset* dataset_;
   gnn::QgtcModel model_;
   std::vector<SubgraphBatch> batches_;
-  std::vector<BatchData> data_;
+  std::vector<BatchData> data_;  // precomputed mode only
 };
 
 }  // namespace qgtc::core

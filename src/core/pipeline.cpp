@@ -1,0 +1,25 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace qgtc::core {
+
+double exposed_transfer_seconds(std::span<const double> wire_seconds,
+                                std::span<const double> compute_seconds) {
+  QGTC_CHECK(wire_seconds.size() == compute_seconds.size(),
+             "wire/compute series must cover the same batches");
+  // Two serial engines: the copy engine runs transfers back-to-back, the
+  // compute engine consumes batch i only after transfer i landed. Exposure
+  // is the compute engine's wait time — batch 0's wire time is always
+  // exposed (nothing to overlap it with); later transfers are exposed only
+  // when they outlast the compute still in flight.
+  double copy_free = 0.0, compute_free = 0.0, exposed = 0.0;
+  for (std::size_t i = 0; i < wire_seconds.size(); ++i) {
+    copy_free += wire_seconds[i];  // transfer i ends here
+    exposed += std::max(0.0, copy_free - compute_free);
+    compute_free = std::max(copy_free, compute_free) + compute_seconds[i];
+  }
+  return exposed;
+}
+
+}  // namespace qgtc::core

@@ -1,0 +1,271 @@
+// Staged streaming executor (paper §4.6 / §6 deployed as a pipeline): one
+// epoch flows through three stages connected by bounded queues —
+//
+//   prepare (P workers) --[BoundedQueue, depth]--> ship (1 worker)
+//        --[BoundedQueue, depth]--> compute (C workers)
+//
+// *prepare* builds a batch's data lazily from the global CSR + features,
+// *ship* packs it into a double-buffered StagingRing slot and charges the
+// PcieModel inline (on the timed path), *compute* runs the quantized forward
+// pass. Peak resident memory is O(depth) prepared batches instead of
+// O(epoch): a full prep queue blocks the producers until compute drains.
+//
+// The GPU analogy (see DESIGN.md substitution table): prepare workers are
+// the host-side DataLoader threads, the ship worker is the copy engine
+// feeding pinned buffers, compute workers are the device streams. Overlap
+// accounting replays the epoch on a two-engine timeline (serial copy engine,
+// serial compute engine) to report the modelled wire time that was NOT
+// hidden behind compute (`exposed_transfer_seconds`).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "transfer/packing.hpp"
+
+namespace qgtc::core {
+
+/// Bounded multi-producer / multi-consumer queue connecting pipeline stages.
+/// push() blocks while the queue is full; pop() blocks while it is empty.
+/// close() ends the stream: pops drain the remaining items, then return
+/// nullopt. abort() additionally drops pending items and fails in-flight
+/// pushes — the shutdown-on-exception path, so a throwing stage never leaves
+/// a peer blocked on a queue that will not move again.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    QGTC_CHECK(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// False when the queue was closed/aborted before the item went in.
+  bool push(T&& v) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < cap_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Nullopt when the stream ended (closed and drained, or aborted).
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// No more pushes; pending items still drain through pop().
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Close and drop pending items (failure shutdown — nothing downstream
+  /// should consume work from a broken epoch).
+  void abort() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+/// Overlap accounting: replays one epoch on the modelled two-engine timeline.
+/// The copy engine executes the per-batch wire times serially; the compute
+/// engine executes the measured per-batch compute times serially, and batch
+/// i's compute cannot start before its transfer lands. The returned value is
+/// the total time the compute engine sat idle waiting on a transfer — the
+/// modelled wire time NOT hidden behind compute. In a healthy pipeline this
+/// converges to ~the first batch's wire time; in a transfer-bound epoch it
+/// approaches the full wire total.
+double exposed_transfer_seconds(std::span<const double> wire_seconds,
+                                std::span<const double> compute_seconds);
+
+/// Stage worker layout of one streaming epoch.
+struct StreamEpochConfig {
+  i64 num_batches = 0;
+  /// Capacity of each inter-stage queue: peak resident prepared batches is
+  /// ~2*depth + workers (both queues full + items held by stage hands).
+  int depth = 2;
+  int prepare_workers = 1;
+  int compute_workers = 1;
+};
+
+/// Per-epoch accounting the pipeline hands back to the engine.
+struct StreamEpochStats {
+  double epoch_seconds = 0;  // wall time, all three stages overlapped
+  // Transfer accounting, charged inline by the ship stage.
+  i64 packed_bytes = 0;
+  i64 adj_bytes = 0;
+  double wire_seconds = 0;     // total modelled PCIe time
+  double exposed_seconds = 0;  // wire time not hidden behind compute
+  double staging_seconds = 0;  // measured pack-into-slot memcpy time
+  // Peak bytes of simultaneously-live prepared batches (the O(depth) bound)
+  // plus the staging-ring allocation high-water.
+  i64 peak_prepared_bytes = 0;
+  i64 staging_capacity_bytes = 0;
+};
+
+/// Runs one epoch through the three-stage pipeline. `ring` is the ship
+/// stage's staging-slot ring; the caller owns it so its capacity survives
+/// across epochs (the warm-up epoch grows the slots once, timed epochs
+/// reuse them — the pinned-buffer discipline).
+///
+///   prepare(i)            -> Item            build batch i's data
+///   bytes(item)           -> i64             resident size (peak accounting)
+///   ship(item, slot)      -> PackedSubgraph  pack into a staging slot
+///   compute(item, i, w)   -> void            forward pass on worker w
+///
+/// Item indices are handed to prepare in ascending order but may complete —
+/// and therefore ship and compute — out of order; callers must not depend on
+/// batch execution order (the engine's counters and logits are index-keyed).
+/// If any stage throws, both queues abort, every worker unwinds, and the
+/// first exception is rethrown here after all threads joined.
+template <typename Item, typename PrepareFn, typename BytesFn,
+          typename ShipFn, typename ComputeFn>
+StreamEpochStats run_stream_epoch(const StreamEpochConfig& cfg,
+                                  transfer::StagingRing& ring,
+                                  PrepareFn&& prepare, BytesFn&& bytes,
+                                  ShipFn&& ship, ComputeFn&& compute) {
+  QGTC_CHECK(cfg.num_batches >= 0, "num_batches must be non-negative");
+  QGTC_CHECK(cfg.depth >= 1, "pipeline depth must be >= 1");
+  QGTC_CHECK(cfg.prepare_workers >= 1 && cfg.compute_workers >= 1,
+             "stage worker counts must be >= 1");
+
+  StreamEpochStats stats;
+  if (cfg.num_batches == 0) return stats;
+  const std::size_t n = static_cast<std::size_t>(cfg.num_batches);
+
+  struct Slot {
+    i64 index = 0;
+    Item item;
+  };
+  BoundedQueue<Slot> prep_q(static_cast<std::size_t>(cfg.depth));
+  BoundedQueue<Slot> ship_q(static_cast<std::size_t>(cfg.depth));
+
+  std::atomic<i64> next_batch{0};
+  std::atomic<i64> live_bytes{0};
+  std::atomic<i64> peak_bytes{0};
+  std::vector<double> wire(n, 0.0), comp(n, 0.0);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto fail = [&](std::exception_ptr e) {
+    {
+      std::lock_guard lock(err_mu);
+      if (!first_error) first_error = e;
+    }
+    prep_q.abort();
+    ship_q.abort();
+  };
+
+  Timer epoch_timer;
+  std::vector<std::thread> prepare_threads;
+  prepare_threads.reserve(static_cast<std::size_t>(cfg.prepare_workers));
+  for (int p = 0; p < cfg.prepare_workers; ++p) {
+    prepare_threads.emplace_back([&] {
+      try {
+        for (;;) {
+          const i64 i = next_batch.fetch_add(1, std::memory_order_relaxed);
+          if (i >= cfg.num_batches) return;
+          Slot s{i, prepare(i)};
+          const i64 sz = bytes(s.item);
+          const i64 live = live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+          i64 peak = peak_bytes.load(std::memory_order_relaxed);
+          while (live > peak &&
+                 !peak_bytes.compare_exchange_weak(peak, live,
+                                                   std::memory_order_relaxed)) {
+          }
+          if (!prep_q.push(std::move(s))) return;  // aborted epoch
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    });
+  }
+
+  std::thread ship_thread([&] {
+    try {
+      while (std::optional<Slot> s = prep_q.pop()) {
+        const transfer::PackedSubgraph packed = ship(s->item, ring.next());
+        wire[static_cast<std::size_t>(s->index)] = packed.modeled_seconds;
+        stats.packed_bytes += packed.total_bytes;
+        stats.adj_bytes += packed.adjacency_bytes;
+        stats.wire_seconds += packed.modeled_seconds;
+        stats.staging_seconds += packed.staging_seconds;
+        if (!ship_q.push(std::move(*s))) break;  // aborted epoch
+      }
+      stats.staging_capacity_bytes = ring.capacity_bytes();
+      ship_q.close();
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  });
+
+  std::vector<std::thread> compute_threads;
+  compute_threads.reserve(static_cast<std::size_t>(cfg.compute_workers));
+  for (int w = 0; w < cfg.compute_workers; ++w) {
+    compute_threads.emplace_back([&, w] {
+      try {
+        while (std::optional<Slot> s = ship_q.pop()) {
+          Timer t;
+          compute(s->item, s->index, w);
+          comp[static_cast<std::size_t>(s->index)] = t.seconds();
+          live_bytes.fetch_sub(bytes(s->item), std::memory_order_relaxed);
+          // `s` (and the prepared batch) dies here — O(depth) residency.
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    });
+  }
+
+  for (std::thread& t : prepare_threads) t.join();
+  prep_q.close();  // producers done: let the ship stage drain and finish
+  ship_thread.join();
+  for (std::thread& t : compute_threads) t.join();
+  stats.epoch_seconds = epoch_timer.seconds();
+
+  {
+    std::lock_guard lock(err_mu);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats.peak_prepared_bytes = peak_bytes.load(std::memory_order_relaxed);
+  stats.exposed_seconds = exposed_transfer_seconds(wire, comp);
+  return stats;
+}
+
+}  // namespace qgtc::core

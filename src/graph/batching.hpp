@@ -11,6 +11,7 @@
 #include "common/matrix.hpp"
 #include "graph/csr.hpp"
 #include "graph/partitioner.hpp"
+#include "kernels/zerotile.hpp"
 
 namespace qgtc {
 
@@ -46,6 +47,36 @@ CsrGraph build_batch_csr(const CsrGraph& g, const SubgraphBatch& batch,
 
 /// Gathers the feature rows of the batch's nodes: (batch.size() x dim).
 MatrixF gather_rows(const MatrixF& features, const std::vector<i32>& nodes);
+
+/// Everything the graph layer prepares for one batch, in both engine modes:
+/// the precomputed engine materialises one per batch up front, the streaming
+/// pipeline builds them lazily (peak-resident O(pipeline_depth), not
+/// O(epoch)). The model layer adds its packed input planes on top.
+struct PreparedBatch {
+  SubgraphBatch batch;
+  /// Tile-CSR adjacency, always built straight from the global CSR.
+  TileSparseBitMatrix adj_tiles;
+  BitMatrix adj;      // dense binary adjacency (empty when sparse_adj)
+  TileMap tile_map;   // cached zero-tile map of adj (dense mode only)
+  CsrGraph local;     // same adjacency as CSR (fp32 baseline path)
+  MatrixF features;   // gathered fp32 features
+
+  /// Resident bytes of the graph-side prepared state (the streaming
+  /// pipeline's peak-memory accounting unit).
+  [[nodiscard]] i64 prepared_bytes() const;
+};
+
+/// Builds the complete graph-side state for one batch from the global CSR +
+/// feature matrix. The single per-batch prepare entry point shared by the
+/// precomputed engine constructor and the streaming pipeline's prepare stage
+/// — both modes see bit-identical batch data by construction.
+/// `build_fp32_csr=false` skips the local CSR (it feeds only the fp32
+/// baseline path; the streaming quantized pipeline never touches it, and
+/// its edge sort is a large share of the prepare cost).
+PreparedBatch prepare_batch_data(const CsrGraph& g, const MatrixF& features,
+                                 const SubgraphBatch& batch, bool sparse_adj,
+                                 bool add_self_loops = true,
+                                 bool build_fp32_csr = true);
 
 /// Gathers labels.
 std::vector<i32> gather_labels(const std::vector<i32>& labels,

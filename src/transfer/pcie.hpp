@@ -25,17 +25,55 @@ struct PcieModel {
 };
 
 /// A staging buffer standing in for pinned host memory. `stage()` appends a
-/// payload with a measured memcpy and returns its offset.
+/// payload with a measured memcpy and returns its offset. `clear()` keeps
+/// the allocation, so a reused slot reaches steady-state capacity after one
+/// epoch and never reallocates again (the pinned-buffer reuse discipline).
 class StagingBuffer {
  public:
   void reserve(i64 bytes) { data_.reserve(static_cast<std::size_t>(bytes)); }
   i64 stage(const void* src, i64 bytes);
   void clear() { data_.clear(); }
   [[nodiscard]] i64 bytes() const { return static_cast<i64>(data_.size()); }
+  /// Allocation high-water of this slot (resident even when cleared).
+  [[nodiscard]] i64 capacity_bytes() const {
+    return static_cast<i64>(data_.capacity());
+  }
   [[nodiscard]] const u8* data() const { return data_.data(); }
 
  private:
   AlignedVector<u8> data_;
+};
+
+/// A fixed ring of staging slots — the double-buffered pinned host memory of
+/// a copy/compute overlap scheme (§4.6 deployed as a pipeline): while slot i
+/// is "on the wire", slot i+1 is being packed. Slots retain their capacity
+/// across reuse, so peak staging memory is `slots * max_packed_batch`, not
+/// O(epoch).
+class StagingRing {
+ public:
+  explicit StagingRing(int slots = 2) : slots_(static_cast<std::size_t>(slots)) {
+    QGTC_CHECK(slots >= 1, "staging ring needs at least one slot");
+  }
+
+  /// Next slot in round-robin order, cleared and ready to pack into.
+  StagingBuffer& next() {
+    StagingBuffer& slot = slots_[cur_];
+    cur_ = (cur_ + 1) % slots_.size();
+    slot.clear();
+    return slot;
+  }
+
+  [[nodiscard]] int slots() const { return static_cast<int>(slots_.size()); }
+  /// Total resident staging allocation across all slots.
+  [[nodiscard]] i64 capacity_bytes() const {
+    i64 total = 0;
+    for (const StagingBuffer& s : slots_) total += s.capacity_bytes();
+    return total;
+  }
+
+ private:
+  std::vector<StagingBuffer> slots_;
+  std::size_t cur_ = 0;
 };
 
 }  // namespace qgtc::transfer

@@ -76,6 +76,36 @@ TEST(Autotune, InvalidProfileThrows) {
                std::invalid_argument);
 }
 
+TEST(Autotune, StreamingKnobsFollowPrecomputeBudget) {
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  DeviceProfile tiny;
+  tiny.memory_bytes = 8 * 1024 * 1024;  // epoch cannot be precomputed here
+  const TunedConfig small_cfg = generate_runtime_config(spec, model_for(spec), tiny);
+  EXPECT_TRUE(small_cfg.streaming);
+  EXPECT_GE(small_cfg.pipeline_depth, 1);
+  EXPECT_LE(small_cfg.pipeline_depth, 8);
+  EXPECT_GE(small_cfg.prepare_threads, 1);
+  EXPECT_GT(small_cfg.epoch_bytes_estimate, tiny.memory_bytes / 4);
+
+  DeviceProfile big;  // 24 GB default: small graphs precompute comfortably
+  DatasetSpec small_graph{"tiny", 2000, 10000, 8, 2, 4, 3};
+  const TunedConfig big_cfg =
+      generate_runtime_config(small_graph, model_for(small_graph), big);
+  EXPECT_FALSE(big_cfg.streaming);
+}
+
+TEST(Autotune, ApplyCopiesStreamingKnobs) {
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  DeviceProfile tiny;
+  tiny.memory_bytes = 8 * 1024 * 1024;
+  const TunedConfig t = generate_runtime_config(spec, model_for(spec), tiny);
+  EngineConfig cfg;
+  apply(t, cfg);
+  EXPECT_EQ(cfg.streaming, t.streaming);
+  EXPECT_EQ(cfg.pipeline_depth, t.pipeline_depth);
+  EXPECT_EQ(cfg.prepare_threads, t.prepare_threads);
+}
+
 TEST(Autotune, TunedEngineRuns) {
   // End-to-end: autotuned knobs drive a real engine.
   DatasetSpec spec{"tuned", 3000, 18000, 16, 4, 20, 5};
