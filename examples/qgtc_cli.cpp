@@ -44,6 +44,8 @@ struct Args {
   int prepare_threads = 0;  // 0 = unset
   std::string backend;  // empty = engine default (QGTC_BACKEND or blocked)
   int threads = 0;      // 0 = unset (engine default, or autotuned)
+  int fuse_epilogue = -1;   // -1 = unset, 0 = --no-fuse-epilogue, 1 = --fuse-epilogue
+  std::string activation;   // empty = model default (relu)
   std::string save_path;
   std::string load_path;
 };
@@ -54,6 +56,8 @@ void usage() {
                "  [--hidden H] [--rounds R] [--autotune] [--sparse-adj|--dense-adj]\n"
                "  [--streaming] [--pipeline-depth D] [--prepare-threads P]\n"
                "  [--backend scalar|simd|blocked] [--threads T]\n"
+               "  [--fuse-epilogue|--no-fuse-epilogue]\n"
+               "  [--activation identity|relu|relu6|hardswish]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
                "ogbn-products\n";
@@ -82,6 +86,9 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--prepare-threads") a.prepare_threads = std::atoi(next());
     else if (flag == "--backend") a.backend = next();
     else if (flag == "--threads") a.threads = std::atoi(next());
+    else if (flag == "--fuse-epilogue") a.fuse_epilogue = 1;
+    else if (flag == "--no-fuse-epilogue") a.fuse_epilogue = 0;
+    else if (flag == "--activation") a.activation = next();
     else if (flag == "--save-dataset") a.save_path = next();
     else if (flag == "--load-dataset") a.load_path = next();
     else if (flag == "--help" || flag == "-h") { usage(); return false; }
@@ -153,6 +160,15 @@ int main(int argc, char** argv) {
   if (args.streaming) cfg.streaming = true;
   if (args.pipeline_depth > 0) cfg.pipeline_depth = args.pipeline_depth;
   if (args.prepare_threads > 0) cfg.prepare_threads = args.prepare_threads;
+  if (args.fuse_epilogue >= 0) cfg.model.fused_epilogue = args.fuse_epilogue != 0;
+  if (!args.activation.empty()) {
+    try {
+      cfg.model.activation = tcsim::parse_activation(args.activation);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (!args.backend.empty()) {
     try {
       cfg.backend = tcsim::parse_backend(args.backend);
@@ -175,6 +191,17 @@ int main(int argc, char** argv) {
   table.add_row({"backend", q.backend});
   table.add_row({"adjacency format",
                  cfg.sparse_adj ? "tile-sparse (CSR)" : "dense + jump map"});
+  table.add_row({"epilogue",
+                 cfg.model.fused_epilogue
+                     ? "fused (" +
+                           std::string(tcsim::activation_name(
+                               cfg.model.activation)) +
+                           ", " + std::to_string(q.epilogue_fused_layers) +
+                           " stages/pass)"
+                     : "unfused (" +
+                           std::string(tcsim::activation_name(
+                               cfg.model.activation)) +
+                           ")"});
   table.add_row({"epoch mode",
                  cfg.streaming
                      ? "streaming (depth " + std::to_string(cfg.pipeline_depth) +
@@ -189,6 +216,9 @@ int main(int argc, char** argv) {
   table.add_row({"speedup", core::TablePrinter::fmt(f.forward_seconds / q.forward_seconds, 2) + "x"});
   table.add_row({"tile MMAs/epoch", std::to_string(q.bmma_ops)});
   table.add_row({"tiles jumped/epoch", std::to_string(q.tiles_jumped)});
+  table.add_row({"int32 MB avoided/epoch",
+                 core::TablePrinter::fmt(
+                     static_cast<double>(q.int32_bytes_avoided) / 1e6, 2)});
   table.add_row({"non-zero tile ratio",
                  core::TablePrinter::fmt_pct(engine.nonzero_tile_ratio(), 1)});
   table.add_row({"adjacency MB shipped",

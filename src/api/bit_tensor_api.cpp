@@ -65,7 +65,7 @@ MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
 }
 
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
-                    const BmmOptions& opt) {
+                    const BmmOptions& opt, tcsim::Activation act) {
   QGTC_CHECK(a.planes().layout() == BitLayout::kRowMajorK,
              "bitMM2Bit: A must be a left-side BitTensor");
   QGTC_CHECK(b.planes().layout() == BitLayout::kColMajorK,
@@ -75,6 +75,7 @@ BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
   const i64 k = a.cols();
   const i64 max_acc = k * ((i64{1} << a.bits()) - 1) * ((i64{1} << b.bits()) - 1);
   FusedEpilogue epi;
+  epi.act = act;
   epi.rshift = calibrate_rshift(
       static_cast<i32>(std::min<i64>(max_acc, INT32_MAX)), bit_c);
   StackedBitTensor out = bitmm_fused_bit(a.planes(), b.planes(), bit_c, epi,
@@ -98,10 +99,11 @@ MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
 }
 
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
-                    const tcsim::ExecutionContext& ctx, const BmmOptions& opt) {
+                    const tcsim::ExecutionContext& ctx, const BmmOptions& opt,
+                    tcsim::Activation act) {
   BmmOptions pinned = opt;
   pinned.ctx = &ctx;
-  return bitMM2Bit(a, b, bit_c, pinned);
+  return bitMM2Bit(a, b, bit_c, pinned, act);
 }
 
 }  // namespace qgtc::api

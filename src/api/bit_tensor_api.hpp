@@ -61,9 +61,11 @@ MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
                     const BmmOptions& opt = {});
 
 /// bitMM2Bit: C = A x B requantized to `bit_c` bits, returned as a left-side
-/// BitTensor ready for the next MM (hidden-layer chaining, §4.5).
+/// BitTensor ready for the next MM (hidden-layer chaining, §4.5). `act` is
+/// the elementwise activation the fused epilogue applies before the clamp.
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
-                    const BmmOptions& opt = {});
+                    const BmmOptions& opt = {},
+                    tcsim::Activation act = tcsim::Activation::kIdentity);
 
 /// Context-pinned variants: run on `ctx`'s substrate backend and account
 /// into `ctx`'s counters (opt.ctx, if set, is overridden). This is the knob
@@ -76,6 +78,7 @@ MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
                     const BmmOptions& opt = {});
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
                     const tcsim::ExecutionContext& ctx,
-                    const BmmOptions& opt = {});
+                    const BmmOptions& opt = {},
+                    tcsim::Activation act = tcsim::Activation::kIdentity);
 
 }  // namespace qgtc::api

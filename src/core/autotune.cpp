@@ -15,6 +15,8 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
              "device profile fields must be positive");
   TunedConfig t;
   t.sparse_adj = sparse_adj;
+  t.fuse_epilogue = true;
+  t.activation = model.activation;
 
   // Partition count: aim for target_partition_nodes per subgraph, clamped to
   // a sane range (at least one partition per parallel unit so batching can
@@ -100,6 +102,8 @@ void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.streaming = tuned.streaming;
   cfg.pipeline_depth = tuned.pipeline_depth;
   cfg.prepare_threads = tuned.prepare_threads;
+  cfg.model.fused_epilogue = tuned.fuse_epilogue;
+  cfg.model.activation = tuned.activation;
 }
 
 }  // namespace qgtc::core

@@ -154,6 +154,8 @@ EngineStats QgtcEngine::run_quantized_precomputed(
   for (const auto& ctx : ctxs) total += ctx.counters();
   stats.tiles_jumped = static_cast<i64>(total.tiles_jumped) / rounds;
   stats.bmma_ops = static_cast<i64>(total.bmma_ops) / rounds;
+  stats.epilogue_fused_layers = model_.fused_stage_count();
+  stats.int32_bytes_avoided = static_cast<i64>(total.int32_bytes_avoided) / rounds;
   stamp_execution(stats, cfg_, workers);
   return stats;
 }
@@ -235,6 +237,8 @@ EngineStats QgtcEngine::run_quantized_streaming(
   for (const auto& ctx : ctxs) total += ctx.counters();
   stats.tiles_jumped = static_cast<i64>(total.tiles_jumped) / rounds;
   stats.bmma_ops = static_cast<i64>(total.bmma_ops) / rounds;
+  stats.epilogue_fused_layers = model_.fused_stage_count();
+  stats.int32_bytes_avoided = static_cast<i64>(total.int32_bytes_avoided) / rounds;
   stamp_execution(stats, cfg_, workers);
   return stats;
 }

@@ -69,6 +69,11 @@ struct EngineStats {
   // Substrate counters accumulated over the epoch.
   i64 tiles_jumped = 0;
   i64 bmma_ops = 0;
+  // Epilogue fusion accounting: requantizing stages the model's rewrite pass
+  // runs fused per forward pass, and the int32 intermediate bytes those
+  // stages never materialised (per epoch, averaged over rounds).
+  i64 epilogue_fused_layers = 0;
+  i64 int32_bytes_avoided = 0;
   // Transfer accounting (bytes staged + modelled PCIe seconds). Filled
   // post-hoc by transfer_accounting(); in streaming mode run_quantized also
   // fills them inline, per epoch.

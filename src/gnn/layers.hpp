@@ -29,6 +29,16 @@ struct GnnConfig {
   ReuseMode reuse = ReuseMode::kCrossTile;
   bool fused_epilogue = true;
 
+  /// Hidden-layer activation, executed inside the fused epilogue (or the
+  /// bit-identical standalone requantization when fused_epilogue is off).
+  tcsim::Activation activation = tcsim::Activation::kRelu;
+
+  /// Per-layer bit-width selection at calibration: each requantizing stage
+  /// (and each cached weight tensor) stores only the planes its calibrated
+  /// value range needs, up to feat_bits/weight_bits. Exact on the
+  /// calibration batch; other batches clamp into the narrowed range.
+  bool per_layer_bits = true;
+
   /// GIN variant: 2-layer MLP update (w then w2) instead of a single linear
   /// layer (§2.1: "a single fully connected layer or an MLP").
   bool gin_mlp = false;

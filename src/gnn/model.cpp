@@ -1,6 +1,7 @@
 #include "gnn/model.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "baselines/dgl_fp32.hpp"
 
@@ -8,25 +9,39 @@ namespace qgtc::gnn {
 
 namespace {
 
-/// ReLU + right-shift + clamp requantization of an int32 activation matrix
-/// (the unfused counterpart of the kernel epilogue, used for calibration and
-/// the no-fusion ablation).
-MatrixI32 requantize(const MatrixI32& m, int rshift, int bits) {
-  const i32 qmax = static_cast<i32>((u32{1} << bits) - 1);
-  MatrixI32 out(m.rows(), m.cols());
-  for (i64 i = 0; i < m.size(); ++i) {
-    i32 v = m.data()[i];
-    if (v < 0) v = 0;
-    v >>= rshift;
-    out.data()[i] = std::min(v, qmax);
-  }
-  return out;
+/// Planes required to represent non-negative value `v` (>= 1).
+int bits_needed(i32 v) {
+  return v <= 0 ? 1 : 32 - std::countl_zero(static_cast<u32>(v));
 }
 
 i32 max_value(const MatrixI32& m) {
   i32 mx = 0;
   for (i64 i = 0; i < m.size(); ++i) mx = std::max(mx, m.data()[i]);
   return mx;
+}
+
+/// The stage plan's epilogue, in kernel form (fused to-bit paths).
+FusedEpilogue epi_of(const EpiloguePlan& p) {
+  FusedEpilogue e;
+  e.act = p.act;
+  e.rshift = p.rshift;
+  return e;
+}
+
+/// The stage plan's epilogue, in substrate form (unfused fallback).
+tcsim::EpilogueSpec spec_of(const EpiloguePlan& p) {
+  return tcsim::EpilogueSpec{p.act, p.rshift,
+                             static_cast<i32>((u32{1} << p.out_bits) - 1)};
+}
+
+/// Standalone requantization of an int32 activation matrix, in place,
+/// through the one shared epilogue definition — bit-identical to what the
+/// fused flush applies tile-by-tile.
+void requant_inplace(MatrixI32& m, const EpiloguePlan& p) {
+  const tcsim::EpilogueSpec spec = spec_of(p);
+  for (i64 i = 0; i < m.size(); ++i) {
+    m.data()[i] = tcsim::apply_epilogue(m.data()[i], spec);
+  }
 }
 
 }  // namespace
@@ -42,11 +57,47 @@ QgtcModel QgtcModel::from_weights(const GnnConfig& cfg,
   QgtcModel m;
   m.cfg_ = cfg;
   m.fp_weights_ = std::move(weights);
-  m.agg_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
-  m.upd_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
-  m.upd2_rshift_.assign(static_cast<std::size_t>(cfg.num_layers), 0);
+  m.build_plan();
   m.quantize_weights();
   return m;
+}
+
+void QgtcModel::build_plan() {
+  const int n = cfg_.num_layers;
+  agg_plan_.assign(static_cast<std::size_t>(n), {});
+  upd_plan_.assign(static_cast<std::size_t>(n), {});
+  upd2_plan_.assign(static_cast<std::size_t>(n), {});
+  const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
+  for (int l = 0; l < n; ++l) {
+    const bool last = (l + 1 == n);
+    EpiloguePlan& ap = agg_plan_[static_cast<std::size_t>(l)];
+    EpiloguePlan& up = upd_plan_[static_cast<std::size_t>(l)];
+    EpiloguePlan& up2 = upd2_plan_[static_cast<std::size_t>(l)];
+    ap.fused = up.fused = up2.fused = cfg_.fused_epilogue;
+    ap.out_bits = up.out_bits = up2.out_bits = cfg_.feat_bits;
+    // Aggregation requantizes without an activation (the nonlinearity sits on
+    // the update stage, as in the paper's GCN/GIN layer definitions). The
+    // update stage that feeds the final logits stays linear.
+    ap.act = tcsim::Activation::kIdentity;
+    if (gcn) {
+      up.act = last ? tcsim::Activation::kIdentity : cfg_.activation;
+    } else if (cfg_.gin_mlp) {
+      up.act = cfg_.activation;  // between the two MLP stages, every layer
+      up2.act = last ? tcsim::Activation::kIdentity : cfg_.activation;
+    } else {
+      up.act = last ? tcsim::Activation::kIdentity : cfg_.activation;
+    }
+  }
+}
+
+int QgtcModel::fused_stage_count() const {
+  if (!cfg_.fused_epilogue) return 0;
+  const int n = cfg_.num_layers;
+  // GCN: every layer's aggregation requantizes (the last feeds the logits
+  // MM); updates requantize on hidden layers only. GIN mirrors that with the
+  // roles swapped, and the MLP variant doubles the update stages.
+  if (cfg_.kind == ModelKind::kClusterGCN) return n + (n - 1);
+  return n * (cfg_.gin_mlp ? 2 : 1) + (n - 1);
 }
 
 void QgtcModel::quantize_weights() {
@@ -56,18 +107,27 @@ void QgtcModel::quantize_weights() {
   for (const LayerWeights& lw : fp_weights_) {
     // Weights are quantized once and cached as packed planes (§3.2: W is
     // reused across every subgraph of a layer, so decomposition is
-    // pre-computed).
+    // pre-computed). With per_layer_bits the cache keeps only the planes the
+    // layer's actual code range occupies — always lossless, since the codes
+    // are fixed at quantization time.
     const QuantParams qp = quant_params_from_data(lw.w, cfg_.weight_bits);
     w_qparams_.push_back(qp);
     const MatrixI32 q = quantize_matrix(lw.w, qp);
+    const int wb = cfg_.per_layer_bits
+                       ? std::clamp(bits_needed(max_value(q)), 1, cfg_.weight_bits)
+                       : cfg_.weight_bits;
     w_planes_.push_back(StackedBitTensor::decompose(
-        q, cfg_.weight_bits, BitLayout::kColMajorK, PadPolicy::kTile8));
+        q, wb, BitLayout::kColMajorK, PadPolicy::kTile8));
     if (cfg_.gin_mlp) {
       QGTC_CHECK(!lw.w2.empty(), "gin_mlp requires a second weight matrix");
       const QuantParams qp2 = quant_params_from_data(lw.w2, cfg_.weight_bits);
       const MatrixI32 q2 = quantize_matrix(lw.w2, qp2);
+      const int wb2 =
+          cfg_.per_layer_bits
+              ? std::clamp(bits_needed(max_value(q2)), 1, cfg_.weight_bits)
+              : cfg_.weight_bits;
       w2_planes_.push_back(StackedBitTensor::decompose(
-          q2, cfg_.weight_bits, BitLayout::kColMajorK, PadPolicy::kTile8));
+          q2, wb2, BitLayout::kColMajorK, PadPolicy::kTile8));
     }
   }
 }
@@ -81,43 +141,63 @@ void QgtcModel::calibrate_impl(const Adj& adj, const MatrixF& x) {
 
   const QuantParams xqp = quant_params_from_data(x, s);
   MatrixI32 xq = quantize_matrix(x, xqp);
+  int cur_bits = s;
+
+  // Completes one stage plan from the raw accumulators: derive the right
+  // shift from the observed maximum, requantize `m` in place through the
+  // shared epilogue, then (per_layer_bits) narrow the stage's plane count to
+  // what the requantized range occupies. The narrowing is exact on the
+  // calibration batch — the dropped high planes are all-zero here — and a
+  // clamp on any batch whose range exceeds it.
+  const auto requant_stage = [&](MatrixI32& m, EpiloguePlan& plan) {
+    plan.rshift = calibrate_rshift(max_value(m), s);
+    plan.out_bits = s;
+    requant_inplace(m, plan);
+    if (cfg_.per_layer_bits) {
+      plan.out_bits = std::clamp(bits_needed(max_value(m)), 1, s);
+    }
+  };
 
   const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
   // GCN consumes X on the aggregation B side first; GIN on the update A side.
   for (int l = 0; l < cfg_.num_layers; ++l) {
+    const std::size_t li = static_cast<std::size_t>(l);
     const bool last = (l + 1 == cfg_.num_layers);
     if (gcn) {
-      auto xp = StackedBitTensor::decompose(xq, s, BitLayout::kColMajorK,
+      auto xp = StackedBitTensor::decompose(xq, cur_bits, BitLayout::kColMajorK,
                                             PadPolicy::kTile8);
       MatrixI32 agg = aggregate_1bit(adj, xp, cfg_.reuse, opt);
-      agg_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(agg), s);
-      const MatrixI32 xn_q = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
-      auto xn = StackedBitTensor::decompose(xn_q, s, BitLayout::kRowMajorK,
+      requant_stage(agg, agg_plan_[li]);
+      auto xn = StackedBitTensor::decompose(agg, agg_plan_[li].out_bits,
+                                            BitLayout::kRowMajorK,
                                             PadPolicy::kTile8);
-      MatrixI32 upd = bitmm_to_int(xn, w_planes_[static_cast<std::size_t>(l)], opt);
+      MatrixI32 upd = bitmm_fused_int(xn, w_planes_[li], {}, opt);
       if (last) break;
-      upd_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd), s);
-      xq = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+      requant_stage(upd, upd_plan_[li]);
+      cur_bits = upd_plan_[li].out_bits;
+      xq = std::move(upd);
     } else {
-      auto xp = StackedBitTensor::decompose(xq, s, BitLayout::kRowMajorK,
+      auto xp = StackedBitTensor::decompose(xq, cur_bits, BitLayout::kRowMajorK,
                                             PadPolicy::kTile8);
-      MatrixI32 upd = bitmm_to_int(xp, w_planes_[static_cast<std::size_t>(l)], opt);
-      upd_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd), s);
-      MatrixI32 xu_q = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
+      MatrixI32 upd = bitmm_fused_int(xp, w_planes_[li], {}, opt);
+      requant_stage(upd, upd_plan_[li]);
+      int ub = upd_plan_[li].out_bits;
       if (cfg_.gin_mlp) {
         // Second MLP stage: requantized stage-1 output feeds another GEMM.
-        auto xm = StackedBitTensor::decompose(xu_q, s, BitLayout::kRowMajorK,
+        auto xm = StackedBitTensor::decompose(upd, ub, BitLayout::kRowMajorK,
                                               PadPolicy::kTile8);
-        MatrixI32 upd2 = bitmm_to_int(xm, w2_planes_[static_cast<std::size_t>(l)], opt);
-        upd2_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(upd2), s);
-        xu_q = requantize(upd2, upd2_rshift_[static_cast<std::size_t>(l)], s);
+        MatrixI32 upd2 = bitmm_fused_int(xm, w2_planes_[li], {}, opt);
+        requant_stage(upd2, upd2_plan_[li]);
+        ub = upd2_plan_[li].out_bits;
+        upd = std::move(upd2);
       }
-      auto xu = StackedBitTensor::decompose(xu_q, s, BitLayout::kColMajorK,
+      auto xu = StackedBitTensor::decompose(upd, ub, BitLayout::kColMajorK,
                                             PadPolicy::kTile8);
       MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, opt);
       if (last) break;
-      agg_rshift_[static_cast<std::size_t>(l)] = calibrate_rshift(max_value(agg), s);
-      xq = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
+      requant_stage(agg, agg_plan_[li]);
+      cur_bits = agg_plan_[li].out_bits;
+      xq = std::move(agg);
     }
   }
   calibrated_ = true;
@@ -152,7 +232,6 @@ MatrixI32 QgtcModel::forward_impl(const Adj& adj, const TileMap* tile_map,
                                   const StackedBitTensor& x_planes,
                                   ForwardStats* stats,
                                   const tcsim::ExecutionContext* ctx) const {
-  const int s = cfg_.feat_bits;
   // `opt` drives the update-side MMs (activations x weights); the cached
   // adjacency flag map belongs only to the aggregation-side options — a
   // single-plane (1-bit) activation operand would otherwise be jumped with
@@ -169,104 +248,110 @@ MatrixI32 QgtcModel::forward_impl(const Adj& adj, const TileMap* tile_map,
   if (stats != nullptr) before = exec.counters();
 
   const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
+  const i64 nodes = adj.rows();
+  tcsim::Workspace& ws = exec.workspace();
+  // Workspace scratch slots for the unfused fallback's int32 intermediates
+  // (reused across layers and batches — nothing is heap-allocated per stage).
+  constexpr int kAggScratch = 0, kUpdScratch = 1, kUpd2Scratch = 2;
+
   // `cur` tracks the packed activation between layers without copying the
-  // caller's input planes.
+  // caller's input planes. Each requantizing stage either runs its epilogue
+  // fused (tile-local requantize + re-pack inside the flush, §4.5) or stages
+  // through an arena int32 matrix and the same epilogue applied standalone —
+  // the plan guarantees the two produce identical planes and tile schedules.
   const StackedBitTensor* cur = &x_planes;
   StackedBitTensor next;
-
   MatrixI32 logits;
-  if (cfg_.fused_epilogue) {
-    if (gcn) {
-      for (int l = 0; l < cfg_.num_layers; ++l) {
-        const bool last = (l + 1 == cfg_.num_layers);
-        FusedEpilogue agg_epi;
-        agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
-        auto xn = aggregate_fused_bit(adj, *cur, s, agg_epi, agg_opt,
-                                      PadPolicy::kTile8);
-        if (last) {
-          logits = bitmm_fused_int(xn, w_planes_[static_cast<std::size_t>(l)], {}, opt);
-          break;
-        }
-        FusedEpilogue upd_epi;
-        upd_epi.relu = true;
-        upd_epi.rshift = upd_rshift_[static_cast<std::size_t>(l)];
-        next = bitmm_fused_bit(xn, w_planes_[static_cast<std::size_t>(l)], s, upd_epi,
-                               opt, PadPolicy::kTile8, BitLayout::kColMajorK);
-        cur = &next;
+
+  if (gcn) {
+    for (int l = 0; l < cfg_.num_layers; ++l) {
+      const std::size_t li = static_cast<std::size_t>(l);
+      const bool last = (l + 1 == cfg_.num_layers);
+      const EpiloguePlan& ap = agg_plan_[li];
+      StackedBitTensor xn;
+      if (ap.fused) {
+        xn = aggregate_fused_bit(adj, *cur, ap.out_bits, epi_of(ap), agg_opt,
+                                 PadPolicy::kTile8);
+      } else {
+        MatrixI32& agg = ws.int32_scratch(kAggScratch, nodes, cur->cols());
+        aggregate_1bit_into(adj, *cur, cfg_.reuse, agg, agg_opt);
+        requant_inplace(agg, ap);
+        xn = StackedBitTensor::decompose(agg, ap.out_bits,
+                                         BitLayout::kRowMajorK,
+                                         PadPolicy::kTile8);
       }
-    } else {
-      for (int l = 0; l < cfg_.num_layers; ++l) {
-        const bool last = (l + 1 == cfg_.num_layers);
-        FusedEpilogue upd_epi;
-        upd_epi.relu = true;
-        upd_epi.rshift = upd_rshift_[static_cast<std::size_t>(l)];
-        auto xu = cfg_.gin_mlp
-                      ? bitmm_fused_bit(*cur, w_planes_[static_cast<std::size_t>(l)], s,
-                                        upd_epi, opt, PadPolicy::kTile8,
-                                        BitLayout::kRowMajorK)
-                      : StackedBitTensor{};
-        if (cfg_.gin_mlp) {
-          FusedEpilogue mlp2_epi;
-          mlp2_epi.relu = !last;
-          mlp2_epi.rshift = upd2_rshift_[static_cast<std::size_t>(l)];
-          xu = bitmm_fused_bit(xu, w2_planes_[static_cast<std::size_t>(l)], s, mlp2_epi,
-                               opt, PadPolicy::kTile8, BitLayout::kColMajorK);
-        } else {
-          upd_epi.relu = !last;
-          xu = bitmm_fused_bit(*cur, w_planes_[static_cast<std::size_t>(l)], s,
-                               upd_epi, opt, PadPolicy::kTile8,
-                               BitLayout::kColMajorK);
-        }
-        if (last) {
-          logits = aggregate_1bit(adj, xu, cfg_.reuse, agg_opt);
-          break;
-        }
-        FusedEpilogue agg_epi;
-        agg_epi.rshift = agg_rshift_[static_cast<std::size_t>(l)];
-        next = aggregate_fused_bit(adj, xu, s, agg_epi, agg_opt, PadPolicy::kTile8);
-        cur = &next;
+      if (last) {
+        logits = bitmm_fused_int(xn, w_planes_[li], {}, opt);
+        break;
       }
+      const EpiloguePlan& up = upd_plan_[li];
+      if (up.fused) {
+        next = bitmm_fused_bit(xn, w_planes_[li], up.out_bits, epi_of(up), opt,
+                               PadPolicy::kTile8, BitLayout::kColMajorK);
+      } else {
+        MatrixI32& upd =
+            ws.int32_scratch(kUpdScratch, nodes, w_planes_[li].cols());
+        bitmm_fused_int_into(xn, w_planes_[li], upd, {}, opt);
+        requant_inplace(upd, up);
+        next = StackedBitTensor::decompose(upd, up.out_bits,
+                                           BitLayout::kColMajorK,
+                                           PadPolicy::kTile8);
+      }
+      cur = &next;
     }
   } else {
-    // Unfused ablation path: every intermediate activation round-trips
-    // through an int32 matrix + standalone requantization/decomposition.
     for (int l = 0; l < cfg_.num_layers; ++l) {
+      const std::size_t li = static_cast<std::size_t>(l);
       const bool last = (l + 1 == cfg_.num_layers);
-      if (gcn) {
-        MatrixI32 agg = aggregate_1bit(adj, *cur, cfg_.reuse, agg_opt);
-        const MatrixI32 xn_q = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
-        auto xn = StackedBitTensor::decompose(xn_q, s, BitLayout::kRowMajorK,
-                                              PadPolicy::kTile8);
-        MatrixI32 upd = bitmm_to_int(xn, w_planes_[static_cast<std::size_t>(l)], opt);
-        if (last) {
-          logits = std::move(upd);
-          break;
-        }
-        const MatrixI32 nq = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
-        next = StackedBitTensor::decompose(nq, s, BitLayout::kColMajorK,
-                                           PadPolicy::kTile8);
-        cur = &next;
+      const EpiloguePlan& up = upd_plan_[li];
+      // The first MLP stage hands kRowMajorK planes to the second stage's MM;
+      // a single-stage update feeds the aggregation's B side directly.
+      const BitLayout l1 = cfg_.gin_mlp ? BitLayout::kRowMajorK
+                                        : BitLayout::kColMajorK;
+      StackedBitTensor xu;
+      if (up.fused) {
+        xu = bitmm_fused_bit(*cur, w_planes_[li], up.out_bits, epi_of(up), opt,
+                             PadPolicy::kTile8, l1);
       } else {
-        MatrixI32 upd = bitmm_to_int(*cur, w_planes_[static_cast<std::size_t>(l)], opt);
-        MatrixI32 xu_q = requantize(upd, upd_rshift_[static_cast<std::size_t>(l)], s);
-        if (cfg_.gin_mlp) {
-          auto xm = StackedBitTensor::decompose(xu_q, s, BitLayout::kRowMajorK,
-                                                PadPolicy::kTile8);
-          MatrixI32 upd2 = bitmm_to_int(xm, w2_planes_[static_cast<std::size_t>(l)], opt);
-          xu_q = requantize(upd2, upd2_rshift_[static_cast<std::size_t>(l)], s);
-        }
-        auto xu = StackedBitTensor::decompose(xu_q, s, BitLayout::kColMajorK,
-                                              PadPolicy::kTile8);
-        MatrixI32 agg = aggregate_1bit(adj, xu, cfg_.reuse, agg_opt);
-        if (last) {
-          logits = std::move(agg);
-          break;
-        }
-        const MatrixI32 nq = requantize(agg, agg_rshift_[static_cast<std::size_t>(l)], s);
-        next = StackedBitTensor::decompose(nq, s, BitLayout::kRowMajorK,
-                                           PadPolicy::kTile8);
-        cur = &next;
+        MatrixI32& upd =
+            ws.int32_scratch(kUpdScratch, nodes, w_planes_[li].cols());
+        bitmm_fused_int_into(*cur, w_planes_[li], upd, {}, opt);
+        requant_inplace(upd, up);
+        xu = StackedBitTensor::decompose(upd, up.out_bits, l1,
+                                         PadPolicy::kTile8);
       }
+      if (cfg_.gin_mlp) {
+        const EpiloguePlan& up2 = upd2_plan_[li];
+        if (up2.fused) {
+          xu = bitmm_fused_bit(xu, w2_planes_[li], up2.out_bits, epi_of(up2),
+                               opt, PadPolicy::kTile8, BitLayout::kColMajorK);
+        } else {
+          MatrixI32& upd2 =
+              ws.int32_scratch(kUpd2Scratch, nodes, w2_planes_[li].cols());
+          bitmm_fused_int_into(xu, w2_planes_[li], upd2, {}, opt);
+          requant_inplace(upd2, up2);
+          xu = StackedBitTensor::decompose(upd2, up2.out_bits,
+                                           BitLayout::kColMajorK,
+                                           PadPolicy::kTile8);
+        }
+      }
+      if (last) {
+        logits = aggregate_1bit(adj, xu, cfg_.reuse, agg_opt);
+        break;
+      }
+      const EpiloguePlan& ap = agg_plan_[li];
+      if (ap.fused) {
+        next = aggregate_fused_bit(adj, xu, ap.out_bits, epi_of(ap), agg_opt,
+                                   PadPolicy::kTile8);
+      } else {
+        MatrixI32& agg = ws.int32_scratch(kAggScratch, nodes, xu.cols());
+        aggregate_1bit_into(adj, xu, cfg_.reuse, agg, agg_opt);
+        requant_inplace(agg, ap);
+        next = StackedBitTensor::decompose(agg, ap.out_bits,
+                                           BitLayout::kRowMajorK,
+                                           PadPolicy::kTile8);
+      }
+      cur = &next;
     }
   }
 
@@ -274,6 +359,8 @@ MatrixI32 QgtcModel::forward_impl(const Adj& adj, const TileMap* tile_map,
     const tcsim::Counters after = exec.counters();
     stats->tiles_jumped += static_cast<i64>(after.tiles_jumped - before.tiles_jumped);
     stats->bmma_ops += static_cast<i64>(after.bmma_ops - before.bmma_ops);
+    stats->int32_bytes_avoided += static_cast<i64>(after.int32_bytes_avoided -
+                                                   before.int32_bytes_avoided);
   }
   return logits;
 }
@@ -295,8 +382,30 @@ MatrixI32 QgtcModel::forward_prepared(const TileSparseBitMatrix& adj,
 
 MatrixF QgtcModel::forward_fp32(const CsrGraph& local, const MatrixF& x) const {
   using baselines::gemm_f32;
-  using baselines::relu_inplace;
   using baselines::spmm_csr;
+  // fp32 mirror of the configured activation. relu/identity are exact
+  // counterparts of the quantized epilogue; relu6/hardswish use the same
+  // quantized-domain constants and are reference-only approximations.
+  const auto act_inplace = [&](MatrixF& m) {
+    switch (cfg_.activation) {
+      case tcsim::Activation::kIdentity:
+        break;
+      case tcsim::Activation::kRelu:
+        baselines::relu_inplace(m);
+        break;
+      case tcsim::Activation::kRelu6:
+        for (i64 i = 0; i < m.size(); ++i) {
+          m.data()[i] = std::clamp(m.data()[i], 0.0f, 6.0f);
+        }
+        break;
+      case tcsim::Activation::kHardswish:
+        for (i64 i = 0; i < m.size(); ++i) {
+          const float v = m.data()[i];
+          m.data()[i] = v * std::clamp(v + 3.0f, 0.0f, 6.0f) / 6.0f;
+        }
+        break;
+    }
+  };
   MatrixF cur = x;
   const bool gcn = cfg_.kind == ModelKind::kClusterGCN;
   for (int l = 0; l < cfg_.num_layers; ++l) {
@@ -304,14 +413,14 @@ MatrixF QgtcModel::forward_fp32(const CsrGraph& local, const MatrixF& x) const {
     if (gcn) {
       MatrixF agg = spmm_csr(local, cur, /*add_self=*/true);
       cur = gemm_f32(agg, fp_weights_[static_cast<std::size_t>(l)].w);
-      if (!last) relu_inplace(cur);
+      if (!last) act_inplace(cur);
     } else {
       MatrixF upd = gemm_f32(cur, fp_weights_[static_cast<std::size_t>(l)].w);
       if (cfg_.gin_mlp) {
-        relu_inplace(upd);
+        act_inplace(upd);
         upd = gemm_f32(upd, fp_weights_[static_cast<std::size_t>(l)].w2);
       }
-      if (!last) relu_inplace(upd);
+      if (!last) act_inplace(upd);
       cur = spmm_csr(local, upd, /*add_self=*/true);
     }
   }

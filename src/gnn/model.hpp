@@ -21,6 +21,18 @@ namespace qgtc::gnn {
 struct ForwardStats {
   i64 tiles_jumped = 0;
   i64 bmma_ops = 0;
+  i64 int32_bytes_avoided = 0;
+};
+
+/// Per-stage epilogue rewrite decision (one per aggregate/update stage per
+/// layer). Built at construction from the config; rshift and out_bits are
+/// filled in by calibration. The same plan drives the fused epilogue and the
+/// unfused fallback, so the two paths are bit-identical by construction.
+struct EpiloguePlan {
+  int rshift = 0;
+  int out_bits = 8;
+  tcsim::Activation act = tcsim::Activation::kIdentity;
+  bool fused = true;
 };
 
 class QgtcModel {
@@ -85,18 +97,37 @@ class QgtcModel {
   /// local CSR. Returns fp32 logits.
   MatrixF forward_fp32(const CsrGraph& local, const MatrixF& x) const;
 
+  /// Requantizing stages the per-layer rewrite pass runs through the fused
+  /// epilogue on each forward pass (0 when fusion is disabled).
+  [[nodiscard]] int fused_stage_count() const;
+
+  /// Per-layer stage plans (tests and diagnostics).
+  [[nodiscard]] const EpiloguePlan& agg_plan(int l) const {
+    return agg_plan_[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] const EpiloguePlan& upd_plan(int l) const {
+    return upd_plan_[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] const EpiloguePlan& upd2_plan(int l) const {
+    return upd2_plan_[static_cast<std::size_t>(l)];
+  }
+
  private:
   GnnConfig cfg_;
   std::vector<LayerWeights> fp_weights_;
   std::vector<QuantParams> w_qparams_;
-  std::vector<StackedBitTensor> w_planes_;   // kColMajorK, weight_bits planes
+  std::vector<StackedBitTensor> w_planes_;   // kColMajorK, <= weight_bits planes
   std::vector<StackedBitTensor> w2_planes_;  // second MLP stage (gin_mlp)
-  std::vector<int> agg_rshift_;              // per layer
-  std::vector<int> upd_rshift_;              // per layer
-  std::vector<int> upd2_rshift_;             // per layer, MLP stage 2
+  std::vector<EpiloguePlan> agg_plan_;       // per layer
+  std::vector<EpiloguePlan> upd_plan_;       // per layer
+  std::vector<EpiloguePlan> upd2_plan_;      // per layer, MLP stage 2
   bool calibrated_ = false;
 
   void quantize_weights();
+
+  /// Fills the per-stage activation/fusion decisions from the config (the
+  /// rewrite pass; rshift/out_bits are completed by calibrate()).
+  void build_plan();
 
   /// Shared forward/calibration bodies, generic over the adjacency
   /// representation (dense BitMatrix or TileSparseBitMatrix — the aggregate

@@ -140,9 +140,12 @@ class SparseAdjSource {
 /// once per A plane and multiplied against every B plane before moving on.
 /// The A operand comes through a tile source (dense planes or the tile-CSR
 /// adjacency), so flag-based and structural zero-tile jumping share this one
-/// sweep. `consume(tm, tn, acc)` receives the fully composed 8x8 int32 tile.
-/// Tile ops execute on the context's substrate backend; scratch comes from
-/// the per-thread workspace arena.
+/// sweep. `consume(tm, tn, acc)` receives the finished tile's raw u64
+/// accumulator lanes (backend-opaque layout) and drains them through one of
+/// the backend flush variants — plain, epilogue, or plane-writer — so the
+/// epilogue runs while the lanes are still hot and no intermediate i32 tile
+/// is staged in the sweep itself. Tile ops execute on the context's
+/// substrate backend; scratch comes from the per-thread workspace arena.
 ///
 /// `parallel_over_n` selects the parallel axis: row-tile blocks when the
 /// consumer writes row-owned data (int32 rows / kRowMajorK planes), and
@@ -189,7 +192,6 @@ void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
     parallel_for_dynamic(0, tiles_n, /*chunk=*/1, [&](i64 tn) {
       u64* acc = ctx.workspace().acc_lanes(tcsim::kTileAccLanes);
       tcsim::AFragment frag;
-      std::array<i32, 64> out;
       tcsim::Counters delta;
       for (i64 tm = 0; tm < tiles_m; ++tm) {
         std::memset(acc, 0, tcsim::kTileAccLanes * sizeof(u64));
@@ -205,9 +207,7 @@ void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
             }
           }
         }
-        out.fill(0);
-        be.flush(out.data(), kTileN, acc);
-        consume(tm, tn, out);
+        consume(tm, tn, static_cast<const u64*>(acc));
         const u64 kt = static_cast<u64>(k_list.size());
         delta.bmma_ops += kt * static_cast<u64>(sa) * static_cast<u64>(sb);
         delta.frag_loads_a += kt * static_cast<u64>(sa);
@@ -228,7 +228,6 @@ void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
       const auto& k_list = k_lists[static_cast<std::size_t>(tm)];
       u64* acc = ctx.workspace().acc_lanes(width * tcsim::kTileAccLanes);
       tcsim::AFragment frag;
-      std::array<i32, 64> out;
       i64 a_loads = 0;
       for (i64 tn0 = 0; tn0 < tiles_n; tn0 += width) {
         const i64 nb = std::min<i64>(width, tiles_n - tn0);
@@ -250,9 +249,8 @@ void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
           }
         }
         for (i64 b = 0; b < nb; ++b) {
-          out.fill(0);
-          be.flush(out.data(), kTileN, acc + b * tcsim::kTileAccLanes);
-          consume(tm, tn0 + b, out);
+          consume(tm, tn0 + b,
+                  static_cast<const u64*>(acc + b * tcsim::kTileAccLanes));
         }
       }
       tcsim::Counters delta;
@@ -267,15 +265,42 @@ void fused_tile_sweep(const Src& src, const std::vector<const BitMatrix*>& bp,
   }
 }
 
-/// Applies BN (optional, fp32 fold) and ReLU to one accumulator value.
-inline i32 apply_bn_relu(i32 v, i64 col, const FusedEpilogue& epi) {
+/// Applies the optional per-column batch-norm fold (Eq. 8) to one raw
+/// accumulator value. The activation itself runs in tcsim::apply_epilogue.
+inline i32 apply_bn(i32 v, i64 col, const FusedEpilogue& epi) {
   if (epi.use_bn && col < static_cast<i64>(epi.bn_scale.size())) {
     const float f = static_cast<float>(v) * epi.bn_scale[static_cast<std::size_t>(col)] +
                     epi.bn_bias[static_cast<std::size_t>(col)];
     v = static_cast<i32>(std::lround(f));
   }
-  if (epi.relu && v < 0) v = 0;
   return v;
+}
+
+/// Drains one finished accumulator tile into a row-major i32 matrix of
+/// logical extent m x n. Interior tiles (full 8x8, no BN) flush straight into
+/// the output with the backend's fused epilogue; edge and BN tiles stage
+/// through one stack tile. Assigns every covered element.
+inline void drain_int_tile(const tcsim::SubstrateBackend& be, i32* out, i64 m,
+                           i64 n, i64 tm, i64 tn, const u64* acc,
+                           const FusedEpilogue& epi) {
+  // The int path applies the activation but never requantizes (rshift/clamp
+  // stay with the to-bit path), matching the historical epilogue contract.
+  const tcsim::EpilogueSpec spec{epi.act, 0, -1};
+  const i64 r0 = tm * kTileM, c0 = tn * kTileN;
+  if (!epi.use_bn && r0 + kTileM <= m && c0 + kTileN <= n) {
+    be.flush_epilogue(out + r0 * n + c0, n, acc, spec);
+    return;
+  }
+  alignas(64) i32 tmp[kTileM * kTileN];
+  be.flush_epilogue(tmp, kTileN, acc, tcsim::EpilogueSpec{});
+  const i64 rows_here = std::min<i64>(kTileM, m - r0);
+  const i64 cols_here = std::min<i64>(kTileN, n - c0);
+  for (i64 i = 0; i < rows_here; ++i) {
+    for (i64 j = 0; j < cols_here; ++j) {
+      const i32 v = apply_bn(tmp[i * kTileN + j], c0 + j, epi);
+      out[(r0 + i) * n + c0 + j] = tcsim::apply_epilogue(v, spec);
+    }
+  }
 }
 
 }  // namespace
@@ -296,25 +321,25 @@ MatrixI32 bitmm_to_int(const StackedBitTensor& a, const StackedBitTensor& b,
 
 MatrixI32 bitmm_fused_int(const StackedBitTensor& a, const StackedBitTensor& b,
                           const FusedEpilogue& epi, const BmmOptions& opt) {
+  MatrixI32 out(a.rows(), b.cols());
+  bitmm_fused_int_into(a, b, out, epi, opt);
+  return out;
+}
+
+void bitmm_fused_int_into(const StackedBitTensor& a, const StackedBitTensor& b,
+                          MatrixI32& out, const FusedEpilogue& epi,
+                          const BmmOptions& opt) {
   QGTC_CHECK(a.cols() == b.rows(), "bitmm_fused_int: inner dimensions differ");
+  QGTC_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+             "bitmm_fused_int_into: output shape mismatch");
   if (!opt.allow_overflow) check_accumulator_bounds(a.cols(), a.bits(), b.bits());
   const i64 m = a.rows(), n = b.cols();
-  MatrixI32 out(m, n, 0);
-  fused_tile_sweep(
-      DensePlanesSource(plane_ptrs(a)), plane_ptrs(b), opt,
-      /*parallel_over_n=*/false,
-      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
-        for (int i = 0; i < kTileM; ++i) {
-          const i64 r = tm * kTileM + i;
-          if (r >= m) break;
-          for (int j = 0; j < kTileN; ++j) {
-            const i64 c = tn * kTileN + j;
-            if (c >= n) break;
-            out(r, c) = apply_bn_relu(acc[static_cast<std::size_t>(i * kTileN + j)], c, epi);
-          }
-        }
-      });
-  return out;
+  const tcsim::SubstrateBackend& be = resolve_ctx(opt).backend();
+  fused_tile_sweep(DensePlanesSource(plane_ptrs(a)), plane_ptrs(b), opt,
+                   /*parallel_over_n=*/false,
+                   [&](i64 tm, i64 tn, const u64* acc) {
+                     drain_int_tile(be, out.data(), m, n, tm, tn, acc, epi);
+                   });
 }
 
 namespace {
@@ -334,63 +359,69 @@ StackedBitTensor fused_bit_output(const Src& src,
   StackedBitTensor out =
       StackedBitTensor::zeros(m, n, out_bits, out_layout, out_pad);
   const i32 qmax = static_cast<i32>((u32{1} << out_bits) - 1);
+  const tcsim::EpilogueSpec spec{epi.act, epi.rshift, qmax};
+  const tcsim::ExecutionContext& ctx = resolve_ctx(opt);
+  const tcsim::SubstrateBackend& be = ctx.backend();
+  const i64 line_stride = out.plane(0).k_words();
 
   const bool parallel_over_n = (out_layout == BitLayout::kColMajorK);
   fused_tile_sweep(
       src, bp, opt, parallel_over_n,
-      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
-        // Requantize the 8x8 tile, then scatter each line's 8 bits with one
-        // word RMW per plane (an 8-bit lane always sits inside one u32 word
-        // because tile extents divide the 32-bit packing).
-        std::array<i32, 64> q;
+      [&](i64 tm, i64 tn, const u64* acc) {
+        // Requantize + scatter the 8x8 tile straight from the accumulator
+        // lanes: one word RMW per (line, plane) — an 8-bit lane always sits
+        // inside one u32 word because tile extents divide the 32-bit packing.
         const i64 rows_here = std::min<i64>(kTileM, m - tm * kTileM);
         const i64 cols_here = std::min<i64>(kTileN, n - tn * kTileN);
-        for (i64 i = 0; i < rows_here; ++i) {
-          for (i64 j = 0; j < cols_here; ++j) {
-            i32 v = apply_bn_relu(acc[static_cast<std::size_t>(i * kTileN + j)],
-                                  tn * kTileN + j, epi);
-            v >>= epi.rshift;
-            q[static_cast<std::size_t>(i * kTileN + j)] =
-                v < 0 ? 0 : (v > qmax ? qmax : v);
-          }
-        }
+        u32* planes[32];
+        tcsim::PlaneSink sink;
         if (out_layout == BitLayout::kRowMajorK) {
           // Line = output row; 8 column bits land in word (tn*8)/32 at
           // offset (tn%4)*8.
           const i64 word = (tn * kTileN) / kWordBits;
-          const int off = static_cast<int>((tn * kTileN) % kWordBits);
-          for (i64 i = 0; i < rows_here; ++i) {
-            const i32* qrow = &q[static_cast<std::size_t>(i * kTileN)];
-            for (int b = 0; b < out_bits; ++b) {
-              u32 lane = 0;
-              for (i64 j = 0; j < cols_here; ++j) {
-                lane |= static_cast<u32>((qrow[j] >> b) & 1) << j;
-              }
-              if (lane != 0) {
-                out.plane(b).row_words(tm * kTileM + i)[word] |= lane << off;
-              }
-            }
+          for (int b = 0; b < out_bits; ++b) {
+            planes[b] = out.plane(b).row_words(tm * kTileM) + word;
           }
+          sink = {planes,    line_stride,
+                  static_cast<int>((tn * kTileN) % kWordBits),
+                  out_bits,  rows_here,
+                  cols_here, /*transpose=*/false};
         } else {
           // Line = output column; 8 row bits land in word (tm*8)/32 at
           // offset (tm%4)*8.
           const i64 word = (tm * kTileM) / kWordBits;
-          const int off = static_cast<int>((tm * kTileM) % kWordBits);
+          for (int b = 0; b < out_bits; ++b) {
+            planes[b] = out.plane(b).col_words(tn * kTileN) + word;
+          }
+          sink = {planes,    line_stride,
+                  static_cast<int>((tm * kTileM) % kWordBits),
+                  out_bits,  cols_here,
+                  rows_here, /*transpose=*/true};
+        }
+        if (!epi.use_bn) {
+          be.flush_planes(sink, acc, spec);
+          return;
+        }
+        // BN tiles stage through one stack tile: raw drain, fp32 fold, then
+        // the shared epilogue + scatter.
+        alignas(64) i32 q[kTileM * kTileN];
+        be.flush_epilogue(q, kTileN, acc, tcsim::EpilogueSpec{});
+        for (i64 i = 0; i < rows_here; ++i) {
           for (i64 j = 0; j < cols_here; ++j) {
-            for (int b = 0; b < out_bits; ++b) {
-              u32 lane = 0;
-              for (i64 i = 0; i < rows_here; ++i) {
-                lane |= static_cast<u32>(
-                            (q[static_cast<std::size_t>(i * kTileN + j)] >> b) & 1)
-                        << i;
-              }
-              if (lane != 0) {
-                out.plane(b).col_words(tn * kTileN + j)[word] |= lane << off;
-              }
-            }
+            const i32 v = apply_bn(q[i * kTileN + j], tn * kTileN + j, epi);
+            q[i * kTileN + j] = tcsim::apply_epilogue(v, spec);
           }
         }
+        tcsim::scatter_planes(sink, q);
       });
+
+  // The whole epilogue ran tile-local: the m x n int32 activation matrix the
+  // unfused path would have materialised (plus re-read for requantize and
+  // decompose) never existed.
+  tcsim::Counters avoided;
+  avoided.int32_bytes_avoided =
+      static_cast<u64>(m) * static_cast<u64>(n) * sizeof(i32);
+  ctx.note(avoided);
   return out;
 }
 
@@ -414,12 +445,16 @@ namespace {
 /// Shared aggregate_1bit body, generic over the adjacency representation
 /// (bmm_accumulate overloads on it) and its tile source. `padded_m` is the
 /// representation's padded row extent for the cross-bit accumulator.
+/// Assigns every element of `out` (a_bin.rows x x.cols).
 template <typename AdjT, typename Src>
-MatrixI32 aggregate_1bit_impl(const AdjT& a_bin, i64 padded_m, const Src& src,
+void aggregate_1bit_into_impl(const AdjT& a_bin, i64 padded_m, const Src& src,
                               const StackedBitTensor& x, ReuseMode mode,
-                              const BmmOptions& opt) {
+                              MatrixI32& out, const BmmOptions& opt) {
   QGTC_CHECK(a_bin.cols() == x.rows(), "aggregate_1bit: dimension mismatch");
+  QGTC_CHECK(out.rows() == a_bin.rows() && out.cols() == x.cols(),
+             "aggregate_1bit_into: output shape mismatch");
   if (!opt.allow_overflow) check_accumulator_bounds(a_bin.cols(), 1, x.bits());
+  const i64 m = a_bin.rows(), n = x.cols();
   if (mode == ReuseMode::kCrossBit) {
     // Figure 6(a): one complete BMM pass per bit-plane; every surviving A
     // tile is re-loaded for each plane.
@@ -428,41 +463,53 @@ MatrixI32 aggregate_1bit_impl(const AdjT& a_bin, i64 padded_m, const Src& src,
     for (int b = 0; b < x.bits(); ++b) {
       bmm_accumulate(a_bin, x.plane(b), padded, b, opt);
     }
-    return slice_logical(padded, a_bin.rows(), x.cols());
+    for (i64 r = 0; r < m; ++r) {
+      std::memcpy(out.data() + r * n, padded.data() + r * padded.cols(),
+                  static_cast<std::size_t>(n) * sizeof(i32));
+    }
+    return;
   }
   // Figure 6(b): cross-tile reduction via the fused sweep with a single
   // 1-bit A plane (the stored tiles only, for the tile-CSR source).
-  const i64 m = a_bin.rows(), n = x.cols();
-  MatrixI32 out(m, n, 0);
-  fused_tile_sweep(
-      src, plane_ptrs(x), opt, /*parallel_over_n=*/false,
-      [&](i64 tm, i64 tn, const std::array<i32, 64>& acc) {
-        for (int i = 0; i < kTileM; ++i) {
-          const i64 r = tm * kTileM + i;
-          if (r >= m) break;
-          for (int j = 0; j < kTileN; ++j) {
-            const i64 c = tn * kTileN + j;
-            if (c >= n) break;
-            out(r, c) = acc[static_cast<std::size_t>(i * kTileN + j)];
-          }
-        }
-      });
-  return out;
+  const tcsim::SubstrateBackend& be = resolve_ctx(opt).backend();
+  fused_tile_sweep(src, plane_ptrs(x), opt, /*parallel_over_n=*/false,
+                   [&](i64 tm, i64 tn, const u64* acc) {
+                     drain_int_tile(be, out.data(), m, n, tm, tn, acc,
+                                    FusedEpilogue{});
+                   });
 }
 
 }  // namespace
 
 MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
                          ReuseMode mode, const BmmOptions& opt) {
-  return aggregate_1bit_impl(a_bin, pad8(a_bin.rows()),
-                             DensePlanesSource({&a_bin}), x, mode, opt);
+  MatrixI32 out(a_bin.rows(), x.cols());
+  aggregate_1bit_into_impl(a_bin, pad8(a_bin.rows()),
+                           DensePlanesSource({&a_bin}), x, mode, out, opt);
+  return out;
 }
 
 MatrixI32 aggregate_1bit(const TileSparseBitMatrix& a_bin,
                          const StackedBitTensor& x, ReuseMode mode,
                          const BmmOptions& opt) {
-  return aggregate_1bit_impl(a_bin, a_bin.padded_rows(),
-                             SparseAdjSource(a_bin), x, mode, opt);
+  MatrixI32 out(a_bin.rows(), x.cols());
+  aggregate_1bit_into_impl(a_bin, a_bin.padded_rows(), SparseAdjSource(a_bin),
+                           x, mode, out, opt);
+  return out;
+}
+
+void aggregate_1bit_into(const BitMatrix& a_bin, const StackedBitTensor& x,
+                         ReuseMode mode, MatrixI32& out,
+                         const BmmOptions& opt) {
+  aggregate_1bit_into_impl(a_bin, pad8(a_bin.rows()),
+                           DensePlanesSource({&a_bin}), x, mode, out, opt);
+}
+
+void aggregate_1bit_into(const TileSparseBitMatrix& a_bin,
+                         const StackedBitTensor& x, ReuseMode mode,
+                         MatrixI32& out, const BmmOptions& opt) {
+  aggregate_1bit_into_impl(a_bin, a_bin.padded_rows(), SparseAdjSource(a_bin),
+                           x, mode, out, opt);
 }
 
 StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,

@@ -28,7 +28,9 @@ enum class ReuseMode {
 
 /// Fused epilogue applied to each finished 8x8 int32 output tile (§4.5).
 struct FusedEpilogue {
-  bool relu = false;
+  /// Elementwise activation (identity / relu / relu6 / hardswish) applied in
+  /// the requantized domain — see tcsim::apply_epilogue for exact semantics.
+  tcsim::Activation act = tcsim::Activation::kIdentity;
   /// Per-output-column batch-norm folded to y = x * scale[j] + bias[j]
   /// (Eq. 8 with E/Var/gamma/beta pre-folded by the caller).
   bool use_bn = false;
@@ -50,6 +52,14 @@ MatrixI32 bitmm_to_int(const StackedBitTensor& a, const StackedBitTensor& b,
 /// before the single store. This is the production path for output layers.
 MatrixI32 bitmm_fused_int(const StackedBitTensor& a, const StackedBitTensor& b,
                           const FusedEpilogue& epi = {},
+                          const BmmOptions& opt = {});
+
+/// In-place variant of bitmm_fused_int writing into caller-provided storage
+/// (typically the ExecutionContext workspace's int32_scratch — the unfused
+/// fallback path allocates nothing per call). `out` must be a.rows x b.cols;
+/// every element is assigned.
+void bitmm_fused_int_into(const StackedBitTensor& a, const StackedBitTensor& b,
+                          MatrixI32& out, const FusedEpilogue& epi = {},
                           const BmmOptions& opt = {});
 
 /// bitMM2Bit (paper §5): fused any-bit MM whose epilogue requantizes to
@@ -78,6 +88,15 @@ MatrixI32 aggregate_1bit(const BitMatrix& a_bin, const StackedBitTensor& x,
 MatrixI32 aggregate_1bit(const TileSparseBitMatrix& a_bin,
                          const StackedBitTensor& x, ReuseMode mode,
                          const BmmOptions& opt = {});
+
+/// In-place aggregation variants writing into caller-provided storage (same
+/// contract as bitmm_fused_int_into; used by the unfused fallback path).
+void aggregate_1bit_into(const BitMatrix& a_bin, const StackedBitTensor& x,
+                         ReuseMode mode, MatrixI32& out,
+                         const BmmOptions& opt = {});
+void aggregate_1bit_into(const TileSparseBitMatrix& a_bin,
+                         const StackedBitTensor& x, ReuseMode mode,
+                         MatrixI32& out, const BmmOptions& opt = {});
 
 /// Fused aggregation: requantizes X_new to `out_bits` inside the epilogue.
 StackedBitTensor aggregate_fused_bit(const BitMatrix& a_bin,

@@ -56,6 +56,15 @@ struct ScalarKernels {
       }
     }
   }
+
+  /// Drain the accumulator into a row-major i32[64] tile with the uint32-wrap
+  /// truncation (the lane-combine half of flush, shared by the epilogue
+  /// variants).
+  static void reduce(i32* vals, const u64* acc) {
+    for (int k = 0; k < kTileM * kTileN; ++k) {
+      vals[k] = static_cast<i32>(static_cast<u32>(acc[k]));
+    }
+  }
 };
 
 /// Compile-time SIMD fallback: same layout as ScalarKernels but the B tile
@@ -101,6 +110,10 @@ struct U64x4Kernels {
 
   static void flush(i32* out, i64 out_stride, const u64* acc) {
     ScalarKernels::flush(out, out_stride, acc);
+  }
+
+  static void reduce(i32* vals, const u64* acc) {
+    ScalarKernels::reduce(vals, acc);
   }
 };
 
@@ -158,6 +171,18 @@ struct Avx512Kernels {
           const int j = 4 * g + c;
           row[j] = static_cast<i32>(static_cast<u32>(row[j]) +
                                     static_cast<u32>(tmp[2 * c] + tmp[2 * c + 1]));
+        }
+      }
+    }
+  }
+
+  static void reduce(i32* vals, const u64* acc) {
+    for (int i = 0; i < kTileM; ++i) {
+      for (int g = 0; g < 2; ++g) {
+        const u64* tmp = acc + (i * 2 + g) * 8;
+        for (int c = 0; c < 4; ++c) {
+          vals[i * kTileN + 4 * g + c] =
+              static_cast<i32>(static_cast<u32>(tmp[2 * c] + tmp[2 * c + 1]));
         }
       }
     }
@@ -231,6 +256,18 @@ struct Avx2Kernels {
       }
     }
   }
+
+  static void reduce(i32* vals, const u64* acc) {
+    for (int i = 0; i < kTileM; ++i) {
+      for (int p = 0; p < 4; ++p) {
+        const u64* tmp = acc + (i * 4 + p) * 4;
+        vals[i * kTileN + 2 * p] =
+            static_cast<i32>(static_cast<u32>(tmp[0] + tmp[1]));
+        vals[i * kTileN + 2 * p + 1] =
+            static_cast<i32>(static_cast<u32>(tmp[2] + tmp[3]));
+      }
+    }
+  }
 };
 
 #endif  // AVX2
@@ -258,6 +295,29 @@ class BackendImpl final : public SubstrateBackend {
   }
   void flush(i32* out, i64 out_stride, const u64* acc) const override {
     Kernels::flush(out, out_stride, acc);
+  }
+  void flush_epilogue(i32* out, i64 out_stride, const u64* acc,
+                      const EpilogueSpec& spec) const override {
+    alignas(64) i32 vals[kTileM * kTileN];
+    Kernels::reduce(vals, acc);
+    if (!spec.is_raw()) {
+      for (int k = 0; k < kTileM * kTileN; ++k) {
+        vals[k] = apply_epilogue(vals[k], spec);
+      }
+    }
+    for (int i = 0; i < kTileM; ++i) {
+      std::memcpy(out + i * out_stride, vals + i * kTileN,
+                  kTileN * sizeof(i32));
+    }
+  }
+  void flush_planes(const PlaneSink& sink, const u64* acc,
+                    const EpilogueSpec& spec) const override {
+    alignas(64) i32 vals[kTileM * kTileN];
+    Kernels::reduce(vals, acc);
+    for (int k = 0; k < kTileM * kTileN; ++k) {
+      vals[k] = apply_epilogue(vals[k], spec);
+    }
+    scatter_planes(sink, vals);
   }
 
  private:
@@ -313,6 +373,32 @@ const SubstrateBackend& simd_impl(BackendKind kind, i64 width) {
 
 }  // namespace
 
+void SubstrateBackend::flush_epilogue(i32* out, i64 out_stride, const u64* acc,
+                                      const EpilogueSpec& spec) const {
+  // Generic drain: zero a scratch tile, add-flush into it (uint32-wrap), then
+  // requantize. BackendImpl overrides skip the zero+add round trip.
+  alignas(64) i32 vals[kTileM * kTileN] = {};
+  flush(vals, kTileN, acc);
+  if (!spec.is_raw()) {
+    for (int k = 0; k < kTileM * kTileN; ++k) {
+      vals[k] = apply_epilogue(vals[k], spec);
+    }
+  }
+  for (int i = 0; i < kTileM; ++i) {
+    std::memcpy(out + i * out_stride, vals + i * kTileN, kTileN * sizeof(i32));
+  }
+}
+
+void SubstrateBackend::flush_planes(const PlaneSink& sink, const u64* acc,
+                                    const EpilogueSpec& spec) const {
+  alignas(64) i32 vals[kTileM * kTileN] = {};
+  flush(vals, kTileN, acc);
+  for (int k = 0; k < kTileM * kTileN; ++k) {
+    vals[k] = apply_epilogue(vals[k], spec);
+  }
+  scatter_planes(sink, vals);
+}
+
 void SubstrateBackend::mma_tile_list(u64* acc, const SparseTileRef* tiles,
                                      i64 n_tiles, i64 a_stride,
                                      const u32* b_cols, i64 b_stride, i64 nb,
@@ -351,6 +437,25 @@ BackendKind parse_backend(std::string_view name) {
   if (name == "blocked") return BackendKind::kBlocked;
   throw std::invalid_argument("unknown backend '" + std::string(name) +
                               "' (expected scalar|simd|blocked)");
+}
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kRelu6: return "relu6";
+    case Activation::kHardswish: return "hardswish";
+  }
+  return "?";
+}
+
+Activation parse_activation(std::string_view name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "relu6") return Activation::kRelu6;
+  if (name == "hardswish") return Activation::kHardswish;
+  throw std::invalid_argument("unknown activation '" + std::string(name) +
+                              "' (expected identity|relu|relu6|hardswish)");
 }
 
 std::vector<BackendKind> all_backends() {

@@ -32,6 +32,58 @@ namespace qgtc::tcsim {
 
 enum class BackendKind { kScalar = 0, kSimd = 1, kBlocked = 2 };
 
+/// Elementwise activation the fused epilogue applies in the requantized
+/// integer domain (after the arithmetic right-shift, before the clamp).
+/// kRelu6 and kHardswish use the quantized-domain constants 3/6 — the
+/// standard integer approximations (hardswish(x) = x * clamp(x+3, 0, 6) / 6
+/// with truncating division).
+enum class Activation { kIdentity = 0, kRelu = 1, kRelu6 = 2, kHardswish = 3 };
+
+/// Epilogue parameters for the requantizing flush variants. Applied to each
+/// accumulator value after the uint32-wrap truncation:
+///   w = v >> rshift (arithmetic);  w = act(w);
+///   if (qmax >= 0)  w = clamp(w, 0, qmax).
+/// qmax < 0 leaves the activated value unclamped (int32 outputs such as
+/// final-layer logits).
+struct EpilogueSpec {
+  Activation act = Activation::kIdentity;
+  int rshift = 0;
+  i32 qmax = -1;
+
+  /// True when the epilogue is the identity (flush_epilogue degenerates to a
+  /// plain truncating store).
+  [[nodiscard]] constexpr bool is_raw() const {
+    return act == Activation::kIdentity && rshift == 0 && qmax < 0;
+  }
+};
+
+/// THE shared epilogue semantics. Every backend's fused flush and the
+/// standalone (unfused) requantization pass call this one definition, so the
+/// fused and unfused model paths are bit-identical by construction.
+/// ReLU commutes with the arithmetic shift, so this matches the historical
+/// "activate, then shift, then clamp" order exactly.
+[[nodiscard]] constexpr i32 apply_epilogue(i32 v, const EpilogueSpec& spec) {
+  i64 w = static_cast<i64>(v) >> spec.rshift;
+  switch (spec.act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      if (w < 0) w = 0;
+      break;
+    case Activation::kRelu6:
+      w = w < 0 ? 0 : (w > 6 ? 6 : w);
+      break;
+    case Activation::kHardswish: {
+      i64 g = w + 3;
+      g = g < 0 ? 0 : (g > 6 ? 6 : g);
+      w = (w * g) / 6;
+      break;
+    }
+  }
+  if (spec.qmax >= 0) w = w < 0 ? 0 : (w > spec.qmax ? spec.qmax : w);
+  return static_cast<i32>(w);
+}
+
 /// Decoded A-operand tile (8 rows x 128 bits) in backend-specific layout.
 /// Sized for the widest layout (8 rows broadcast to 512-bit vectors).
 struct alignas(64) AFragment {
@@ -53,6 +105,47 @@ struct SparseTileRef {
   const u32* a;
   i64 k_tile;
 };
+
+/// Destination descriptor for flush_planes: where one 8x8 output tile's
+/// requantized values land as packed bit planes. `planes[b]` points at the
+/// word of plane `b` that holds the tile's first line; successive lines sit
+/// `line_stride` u32 apart, and the tile's 8-lane bit group occupies bit
+/// offset `shift` within the word (tile extents divide the 32-bit packing,
+/// so a group never straddles words). With `transpose == false` a line is an
+/// output row and a lane an output column (kRowMajorK planes); with
+/// `transpose == true` the roles swap (kColMajorK). `lines`/`lanes` bound
+/// the logically valid region (<= 8 each) so edge tiles skip padding.
+struct PlaneSink {
+  u32* const* planes;
+  i64 line_stride;
+  int shift;
+  int out_bits;
+  i64 lines;
+  i64 lanes;
+  bool transpose;
+};
+
+/// Scatter a requantized 8x8 tile (`q`, row-major i32[64], values already in
+/// [0, 2^out_bits)) into packed bit planes — one word RMW per (line, plane).
+/// Shared by every backend's flush_planes and the unfused fallback paths.
+inline void scatter_planes(const PlaneSink& s, const i32* q) {
+  for (i64 l = 0; l < s.lines; ++l) {
+    for (int b = 0; b < s.out_bits; ++b) {
+      u32 lane = 0;
+      if (!s.transpose) {
+        const i32* row = q + l * 8;
+        for (i64 j = 0; j < s.lanes; ++j) {
+          lane |= static_cast<u32>((row[j] >> b) & 1) << j;
+        }
+      } else {
+        for (i64 i = 0; i < s.lanes; ++i) {
+          lane |= static_cast<u32>((q[i * 8 + l] >> b) & 1) << i;
+        }
+      }
+      if (lane != 0) s.planes[b][l * s.line_stride] |= lane << s.shift;
+    }
+  }
+}
 
 /// A substrate micro-kernel implementation. Stateless and shared across
 /// threads: all mutable state lives in caller-provided scratch (the
@@ -82,6 +175,22 @@ class SubstrateBackend {
   /// to the substrate's exact uint32-wrap contract.
   virtual void flush(i32* out, i64 out_stride, const u64* acc) const = 0;
 
+  /// Epilogue-parameterized flush (the CUTLASS-style fused epilogue, mapped
+  /// to the flush hook — see DESIGN.md): out[8x8] = apply_epilogue(wrap(acc))
+  /// while the accumulator lanes are still hot. Assigns (does not add); the
+  /// uint32-wrap truncation precedes the epilogue, preserving the substrate
+  /// contract. The base implementation drains through flush(); BackendImpl
+  /// overrides it with the micro-kernel's fused lane reduction.
+  virtual void flush_epilogue(i32* out, i64 out_stride, const u64* acc,
+                              const EpilogueSpec& spec) const;
+
+  /// Plane-writer flush: requantize the tile with `spec` and scatter the
+  /// resulting bits straight into packed output planes (`sink`) — the §4.5
+  /// re-pack executed inside the flush, so no int32 intermediate is ever
+  /// materialised. `spec.qmax` must be >= 0 (values must fit the planes).
+  virtual void flush_planes(const PlaneSink& sink, const u64* acc,
+                            const EpilogueSpec& spec) const;
+
   /// Sparse-schedule execution: sweeps a row block's surviving-tile list
   /// across a panel of `nb` consecutive output-column tiles, keeping each
   /// decoded A fragment resident for the whole panel (the §4.4 blocking,
@@ -108,6 +217,12 @@ class SubstrateBackend {
 
 /// Parse a backend name; throws std::invalid_argument on unknown names.
 [[nodiscard]] BackendKind parse_backend(std::string_view name);
+
+/// Display name ("identity", "relu", "relu6", "hardswish").
+[[nodiscard]] const char* activation_name(Activation a);
+
+/// Parse an activation name; throws std::invalid_argument on unknown names.
+[[nodiscard]] Activation parse_activation(std::string_view name);
 
 /// All registered kinds, in registry order.
 [[nodiscard]] std::vector<BackendKind> all_backends();

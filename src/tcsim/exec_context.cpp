@@ -11,6 +11,15 @@ MatrixI32& Workspace::padded_acc(i64 rows, i64 cols) {
   return padded_acc_;
 }
 
+MatrixI32& Workspace::int32_scratch(int slot, i64 rows, i64 cols) {
+  if (static_cast<std::size_t>(slot) >= int32_scratch_.size()) {
+    int32_scratch_.resize(static_cast<std::size_t>(slot) + 1);
+  }
+  MatrixI32& m = int32_scratch_[static_cast<std::size_t>(slot)];
+  if (m.rows() != rows || m.cols() != cols) m = MatrixI32(rows, cols);
+  return m;
+}
+
 std::vector<std::vector<i64>>& Workspace::k_lists(i64 n) {
   k_lists_.resize(static_cast<std::size_t>(n));
   for (auto& l : k_lists_) l.clear();
@@ -33,6 +42,9 @@ std::size_t Workspace::footprint_bytes() const {
   std::size_t b = static_cast<std::size_t>(padded_acc_.size()) * sizeof(i32) +
                   tile_refs_.capacity() * sizeof(SparseTileRef) +
                   acc_lanes_.size() * sizeof(u64);
+  for (const auto& m : int32_scratch_) {
+    b += static_cast<std::size_t>(m.size()) * sizeof(i32);
+  }
   for (const auto& l : k_lists_) b += l.capacity() * sizeof(i64);
   return b;
 }
@@ -58,6 +70,8 @@ void ExecutionContext::note(const Counters& delta) const {
   frag_loads_b_.fetch_add(delta.frag_loads_b, std::memory_order_relaxed);
   frag_stores_.fetch_add(delta.frag_stores, std::memory_order_relaxed);
   tiles_jumped_.fetch_add(delta.tiles_jumped, std::memory_order_relaxed);
+  int32_bytes_avoided_.fetch_add(delta.int32_bytes_avoided,
+                                 std::memory_order_relaxed);
 }
 
 Counters ExecutionContext::counters() const {
@@ -68,6 +82,7 @@ Counters ExecutionContext::counters() const {
   c.frag_loads_b = frag_loads_b_.load(std::memory_order_relaxed);
   c.frag_stores = frag_stores_.load(std::memory_order_relaxed);
   c.tiles_jumped = tiles_jumped_.load(std::memory_order_relaxed);
+  c.int32_bytes_avoided = int32_bytes_avoided_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -81,6 +96,7 @@ void ExecutionContext::reset_counters() {
   frag_loads_b_.store(0, std::memory_order_relaxed);
   frag_stores_.store(0, std::memory_order_relaxed);
   tiles_jumped_.store(0, std::memory_order_relaxed);
+  int32_bytes_avoided_.store(0, std::memory_order_relaxed);
 }
 
 const ExecutionContext& ExecutionContext::default_context() {

@@ -36,6 +36,13 @@ class Workspace {
   /// shape growth/change; the engine's same-shaped batches hit the cache).
   MatrixI32& padded_acc(i64 rows, i64 cols);
 
+  /// Uninitialised int32 scratch matrix of rows x cols (reallocates only on
+  /// shape change; `slot` keys independent use-sites so stages with different
+  /// shapes don't thrash each other's storage). Unlike padded_acc it is NOT
+  /// zeroed: callers must fully overwrite the logical region (the unfused
+  /// epilogue paths assign every element via flush_epilogue).
+  MatrixI32& int32_scratch(int slot, i64 rows, i64 cols);
+
   /// `n` cleared K-tile lists (one per row block, shared across the N sweep).
   std::vector<std::vector<i64>>& k_lists(i64 n);
 
@@ -51,6 +58,7 @@ class Workspace {
 
  private:
   MatrixI32 padded_acc_;
+  std::vector<MatrixI32> int32_scratch_;
   std::vector<std::vector<i64>> k_lists_;
   std::vector<SparseTileRef> tile_refs_;
   AlignedVector<u64> acc_lanes_;
@@ -101,6 +109,7 @@ class ExecutionContext {
   mutable std::atomic<u64> frag_loads_b_{0};
   mutable std::atomic<u64> frag_stores_{0};
   mutable std::atomic<u64> tiles_jumped_{0};
+  mutable std::atomic<u64> int32_bytes_avoided_{0};
 };
 
 }  // namespace qgtc::tcsim

@@ -52,6 +52,8 @@ struct Counters {
   u64 frag_loads_b = 0;    // B-fragment loads from memory
   u64 frag_stores = 0;     // accumulator stores
   u64 tiles_jumped = 0;    // tiles skipped by zero-tile jumping
+  u64 int32_bytes_avoided = 0;  // int32 intermediate bytes fused epilogues
+                                // never materialised
 
   Counters& operator+=(const Counters& o) {
     bmma_ops += o.bmma_ops;
@@ -59,6 +61,7 @@ struct Counters {
     frag_loads_b += o.frag_loads_b;
     frag_stores += o.frag_stores;
     tiles_jumped += o.tiles_jumped;
+    int32_bytes_avoided += o.int32_bytes_avoided;
     return *this;
   }
 };

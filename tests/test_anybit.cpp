@@ -63,7 +63,7 @@ TEST(AnyBit, FusedReluEpilogue) {
   const auto pb = StackedBitTensor::decompose(b, 2, BitLayout::kColMajorK);
   FusedEpilogue epi;
   epi.use_bn = true;
-  epi.relu = true;
+  epi.act = tcsim::Activation::kRelu;
   epi.bn_scale.assign(6, 1.0f);
   epi.bn_bias.assign(6, -50.0f);  // push small accumulators negative
   const MatrixI32 c = bitmm_fused_int(pa, pb, epi);

@@ -210,7 +210,7 @@ TEST_P(TileSparseEquivalence, SparseAggregationBitIdenticalAllBackends) {
 
     // Fused to-bit aggregation (the hidden-layer path).
     FusedEpilogue epi;
-    epi.relu = true;
+    epi.act = tcsim::Activation::kRelu;
     epi.rshift = 2;
     const auto dense_out =
         aggregate_fused_bit(pa, px, s, epi, flag_opt, PadPolicy::kTile8);
