@@ -19,7 +19,8 @@ struct ModeResult {
 
 ModeResult run_mode(const Dataset& ds, core::EngineConfig cfg, bool sparse,
                     int rounds) {
-  cfg.sparse_adj = sparse;
+  cfg.mode.adjacency = sparse ? core::RunMode::Adjacency::kTileSparse
+                              : core::RunMode::Adjacency::kDenseJump;
   core::QgtcEngine engine(ds, cfg);
   ModeResult r;
   for (const auto& bd : engine.batch_data()) {

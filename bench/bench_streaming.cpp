@@ -107,9 +107,7 @@ int run(int argc, char** argv) {
   bool memory_bounded = true;
   for (const int depth : depths) {
     core::EngineConfig scfg = cfg;
-    scfg.streaming = true;
-    scfg.pipeline_depth = depth;
-    scfg.prepare_threads = stage_threads;
+    scfg.mode = core::RunMode::streaming_pipeline(depth, stage_threads);
     const ModeResult s = run_mode(ds, scfg, rounds);
     const bool match =
         s.bmma_ops == pre.bmma_ops && s.tiles_jumped == pre.tiles_jumped;

@@ -6,6 +6,7 @@
 //            [--hidden H] [--rounds R] [--backend scalar|simd|blocked]
 //            [--threads T] [--sparse-adj|--dense-adj]
 //            [--streaming] [--pipeline-depth D] [--prepare-threads P]
+//            [--serve] [--qps Q] [--requests N] [--fanout F]
 //            [--save-dataset file.bin] [--load-dataset file.bin]
 //
 // Prints epoch latency for the quantized and fp32 paths, substrate
@@ -15,6 +16,13 @@
 // process peak RSS). --autotune enables --sparse-adj automatically and
 // picks streaming/pipeline-depth from the device profile; explicit flags
 // always win.
+//
+// --serve skips the offline epochs and stands up the online serving layer
+// (core::ServingEngine) behind an open-loop Poisson client: --qps offered
+// load, --requests total requests, --fanout ego-graph hops per request.
+// Reports p50/p99/p99.9 latency, sustained QPS and micro-batch coalescing;
+// with --autotune the serving policy comes from the latency-objective
+// profile.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -22,6 +30,7 @@
 #include "common/mem.hpp"
 #include "core/autotune.hpp"
 #include "core/engine.hpp"
+#include "core/serving.hpp"
 #include "core/stats.hpp"
 #include "graph/io.hpp"
 
@@ -48,6 +57,11 @@ struct Args {
   std::string activation;   // empty = model default (relu)
   std::string save_path;
   std::string load_path;
+  // --serve: online micro-batching server + open-loop Poisson client.
+  bool serve = false;
+  double qps = 200.0;
+  qgtc::i64 requests = 64;
+  int fanout = 1;
 };
 
 void usage() {
@@ -59,6 +73,7 @@ void usage() {
                "  [--fuse-epilogue|--no-fuse-epilogue]\n"
                "  [--activation identity|relu|relu6|hardswish]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
+               "  [--serve] [--qps Q] [--requests N] [--fanout F]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
                "ogbn-products\n";
 }
@@ -89,6 +104,10 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--fuse-epilogue") a.fuse_epilogue = 1;
     else if (flag == "--no-fuse-epilogue") a.fuse_epilogue = 0;
     else if (flag == "--activation") a.activation = next();
+    else if (flag == "--serve") a.serve = true;
+    else if (flag == "--qps") a.qps = std::atof(next());
+    else if (flag == "--requests") a.requests = std::atoll(next());
+    else if (flag == "--fanout") a.fanout = std::atoi(next());
     else if (flag == "--save-dataset") a.save_path = next();
     else if (flag == "--load-dataset") a.load_path = next();
     else if (flag == "--help" || flag == "-h") { usage(); return false; }
@@ -144,22 +163,22 @@ int main(int argc, char** argv) {
     std::cout << "Autotuned: " << cfg.num_partitions << " partitions, batch "
               << cfg.batch_size << ", " << cfg.inter_batch_threads
               << " inter-batch threads, "
-              << (cfg.sparse_adj ? "tile-sparse" : "dense")
+              << (cfg.mode.sparse_adj() ? "tile-sparse" : "dense")
               << " adjacency (~" << tuned.batch_bytes_estimate / 1000000
               << " MB/batch), "
-              << (cfg.streaming ? "streaming (depth " +
-                                      std::to_string(cfg.pipeline_depth) + ")"
+              << (cfg.mode.streaming() ? "streaming (depth " +
+                                      std::to_string(cfg.mode.pipeline_depth) + ")"
                                 : "precomputed")
               << " epoch (~" << tuned.epoch_bytes_estimate / 1000000
               << " MB materialised)\n";
   }
   // Explicit flags beat both the defaults and the autotuner (--dense-adj
   // forces the dense+flag-jump baseline even under --autotune).
-  if (args.sparse_adj) cfg.sparse_adj = true;
-  if (args.dense_adj) cfg.sparse_adj = false;
-  if (args.streaming) cfg.streaming = true;
-  if (args.pipeline_depth > 0) cfg.pipeline_depth = args.pipeline_depth;
-  if (args.prepare_threads > 0) cfg.prepare_threads = args.prepare_threads;
+  if (args.sparse_adj) cfg.mode.adjacency = core::RunMode::Adjacency::kTileSparse;
+  if (args.dense_adj) cfg.mode.adjacency = core::RunMode::Adjacency::kDenseJump;
+  if (args.streaming) cfg.mode.epoch = core::RunMode::Epoch::kStreaming;
+  if (args.pipeline_depth > 0) cfg.mode.pipeline_depth = args.pipeline_depth;
+  if (args.prepare_threads > 0) cfg.mode.prepare_threads = args.prepare_threads;
   if (args.fuse_epilogue >= 0) cfg.model.fused_epilogue = args.fuse_epilogue != 0;
   if (!args.activation.empty()) {
     try {
@@ -179,6 +198,56 @@ int main(int argc, char** argv) {
   }
   if (args.threads > 0) cfg.inter_batch_threads = args.threads;
 
+  if (args.serve) {
+    // Online serving: micro-batching server + open-loop Poisson client.
+    // --autotune switches the tuner to the latency objective and adopts its
+    // serving policy; explicit worker flags still win.
+    core::ServingPolicy policy;
+    if (args.autotune) {
+      const auto tuned = core::generate_runtime_config(
+          ds.spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj,
+          core::TuneObjective::kLatency);
+      policy = tuned.serving;
+    }
+    if (args.prepare_threads > 0) policy.prepare_workers = args.prepare_threads;
+    if (args.threads > 0) policy.compute_workers = args.threads;
+    std::cout << "Starting serving engine ("
+              << gnn::model_name(cfg.model.kind) << ", " << args.bits
+              << "-bit, max " << policy.max_batch_nodes << " nodes / "
+              << policy.max_batch_requests << " requests / "
+              << policy.max_wait_us << " us per micro-batch)...\n";
+    core::ServingEngine serving(ds, cfg, policy);
+
+    core::LoadSpec load;
+    load.num_requests = args.requests;
+    load.target_qps = args.qps;
+    load.fanout = args.fanout;
+    const core::LoadReport rep = core::run_poisson_load(serving, load);
+    serving.stop();
+    const core::ServingStats st = serving.stats();
+
+    core::TablePrinter table({"metric", "value"});
+    table.add_row({"requests completed", std::to_string(rep.completed)});
+    table.add_row({"requests failed", std::to_string(rep.failed)});
+    table.add_row({"offered QPS", core::TablePrinter::fmt(rep.offered_qps, 1)});
+    table.add_row({"sustained QPS", core::TablePrinter::fmt(rep.sustained_qps, 1)});
+    table.add_row({"p50 latency ms", core::TablePrinter::fmt(rep.p50_ms, 3)});
+    table.add_row({"p99 latency ms", core::TablePrinter::fmt(rep.p99_ms, 3)});
+    table.add_row({"p99.9 latency ms", core::TablePrinter::fmt(rep.p999_ms, 3)});
+    table.add_row({"mean requests/batch",
+                   core::TablePrinter::fmt(rep.mean_batch_requests, 2)});
+    table.add_row({"micro-batches", std::to_string(st.batches_dispatched)});
+    table.add_row({"dispatches (full/timeout)",
+                   std::to_string(st.dispatches_full) + "/" +
+                       std::to_string(st.dispatches_timeout)});
+    table.add_row({"packed MB shipped",
+                   core::TablePrinter::fmt(
+                       static_cast<double>(st.packed_bytes) / 1e6, 2)});
+    table.add_row({"tile MMAs", std::to_string(st.bmma_ops)});
+    table.print(std::cout);
+    return 0;
+  }
+
   std::cout << "Building engine (" << gnn::model_name(cfg.model.kind) << ", "
             << args.bits << "-bit, " << cfg.num_partitions << " partitions)...\n";
   core::QgtcEngine engine(ds, cfg);
@@ -190,7 +259,7 @@ int main(int argc, char** argv) {
   core::TablePrinter table({"metric", "value"});
   table.add_row({"backend", q.backend});
   table.add_row({"adjacency format",
-                 cfg.sparse_adj ? "tile-sparse (CSR)" : "dense + jump map"});
+                 cfg.mode.sparse_adj() ? "tile-sparse (CSR)" : "dense + jump map"});
   table.add_row({"epilogue",
                  cfg.model.fused_epilogue
                      ? "fused (" +
@@ -203,8 +272,8 @@ int main(int argc, char** argv) {
                                cfg.model.activation)) +
                            ")"});
   table.add_row({"epoch mode",
-                 cfg.streaming
-                     ? "streaming (depth " + std::to_string(cfg.pipeline_depth) +
+                 cfg.mode.streaming()
+                     ? "streaming (depth " + std::to_string(cfg.mode.pipeline_depth) +
                            ", " + std::to_string(q.prepare_threads) +
                            " prepare threads)"
                      : "precomputed"});
@@ -227,7 +296,7 @@ int main(int argc, char** argv) {
                  core::TablePrinter::fmt(static_cast<double>(t.packed_bytes) / 1e6, 1)});
   table.add_row({"dense transfer MB",
                  core::TablePrinter::fmt(static_cast<double>(t.dense_bytes) / 1e6, 1)});
-  if (cfg.streaming) {
+  if (cfg.mode.streaming()) {
     table.add_row({"wire ms/epoch (inline)",
                    core::TablePrinter::fmt(q.packed_transfer_seconds * 1e3, 2)});
     table.add_row({"exposed transfer ms",

@@ -49,7 +49,21 @@ class BitTensor {
   bool from_float_ = false;
 };
 
+namespace detail {
+/// Validation + kernel dispatch shared by the free functions and
+/// api::Session (which pins its own context before delegating here).
+MatrixI32 mm_int(const BitTensor& a, const BitTensor& b,
+                 const BmmOptions& opt);
+MatrixI32 mm_int(const TileSparseBitMatrix& a, const BitTensor& b,
+                 const BmmOptions& opt);
+BitTensor mm_bit(const BitTensor& a, const BitTensor& b, int bit_c,
+                 tcsim::Activation act, const BmmOptions& opt);
+}  // namespace detail
+
 /// bitMM2Int: C = A x B with int32 output (quantized-code arithmetic).
+/// Thin wrapper over the default api::Session (callers wanting a pinned
+/// backend / private counters construct their own Session — see
+/// api/session.hpp).
 MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
                     const BmmOptions& opt = {});
 
@@ -67,15 +81,24 @@ BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
                     const BmmOptions& opt = {},
                     tcsim::Activation act = tcsim::Activation::kIdentity);
 
-/// Context-pinned variants: run on `ctx`'s substrate backend and account
-/// into `ctx`'s counters (opt.ctx, if set, is overridden). This is the knob
-/// a framework integration exposes per stream/session.
+/// Deprecated opt.ctx-overriding overloads, kept as delegating wrappers: the
+/// per-stream handle is now api::Session, which owns the ExecutionContext
+/// instead of threading it through every call site.
+[[deprecated(
+    "construct an api::Session (one per stream/worker) and call "
+    "session.mm_int instead")]]
 MatrixI32 bitMM2Int(const BitTensor& a, const BitTensor& b,
                     const tcsim::ExecutionContext& ctx,
                     const BmmOptions& opt = {});
+[[deprecated(
+    "construct an api::Session (one per stream/worker) and call "
+    "session.mm_int instead")]]
 MatrixI32 bitMM2Int(const TileSparseBitMatrix& a, const BitTensor& b,
                     const tcsim::ExecutionContext& ctx,
                     const BmmOptions& opt = {});
+[[deprecated(
+    "construct an api::Session (one per stream/worker) and call "
+    "session.mm_bit(a, b, MmOut{bits, act}) instead")]]
 BitTensor bitMM2Bit(const BitTensor& a, const BitTensor& b, int bit_c,
                     const tcsim::ExecutionContext& ctx,
                     const BmmOptions& opt = {},

@@ -1,0 +1,31 @@
+#include "api/session.hpp"
+
+namespace qgtc::api {
+
+MatrixI32 Session::mm_int(const BitTensor& a, const BitTensor& b,
+                          const BmmOptions& opt) const {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx_;
+  return detail::mm_int(a, b, pinned);
+}
+
+MatrixI32 Session::mm_int(const TileSparseBitMatrix& a, const BitTensor& b,
+                          const BmmOptions& opt) const {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx_;
+  return detail::mm_int(a, b, pinned);
+}
+
+BitTensor Session::mm_bit(const BitTensor& a, const BitTensor& b,
+                          const MmOut& out, const BmmOptions& opt) const {
+  BmmOptions pinned = opt;
+  pinned.ctx = &ctx_;
+  return detail::mm_bit(a, b, out.bits, out.act, pinned);
+}
+
+const Session& Session::default_session() {
+  static const Session session{DefaultTag{}};
+  return session;
+}
+
+}  // namespace qgtc::api

@@ -1,0 +1,82 @@
+// api::Session — the context-pinned call surface of the §5 framework
+// integration. A Session owns one ExecutionContext (substrate backend +
+// workspace arena access + private counter block) and exposes the two MM
+// entry points on it:
+//
+//   session.mm_int(a, b)                    -> int32 Tensor output
+//   session.mm_bit(a, b, MmOut{bits, act})  -> requantized bit-Tensor output
+//
+// This replaces the old six-way bitMM2Int/bitMM2Bit overload sprawl (three
+// shapes x with/without an opt.ctx-overriding ExecutionContext parameter)
+// with one handle: a framework integration creates one Session per stream /
+// worker — exactly the handle the serving layer's compute workers hold — and
+// every call on it runs on that session's backend and accounts into that
+// session's counters. The legacy free functions remain as thin wrappers
+// delegating to `Session::default_session()`.
+#pragma once
+
+#include "api/bit_tensor_api.hpp"
+
+namespace qgtc::api {
+
+/// Output description for Session::mm_bit: the requantized bitwidth and the
+/// elementwise activation the fused epilogue applies before the clamp.
+struct MmOut {
+  int bits = 8;
+  tcsim::Activation act = tcsim::Activation::kIdentity;
+};
+
+class Session {
+ public:
+  /// Session on the process default backend with a private counter block.
+  Session() : Session(tcsim::default_backend()) {}
+
+  /// Session on an explicit backend. `private_counters` (default) gives the
+  /// session its own counter block so concurrent sessions account
+  /// independently; false routes to the global per-thread registry.
+  explicit Session(tcsim::BackendKind backend, bool private_counters = true)
+      : ctx_(backend, private_counters) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// C = A x B with int32 output (quantized-code arithmetic). Runs on this
+  /// session's backend; `opt.ctx`, if set, is overridden — the session IS
+  /// the context.
+  MatrixI32 mm_int(const BitTensor& a, const BitTensor& b,
+                   const BmmOptions& opt = {}) const;
+
+  /// Structurally sparse left operand: the 1-bit adjacency rides the
+  /// tile-CSR path (only stored tiles execute, jumping free).
+  MatrixI32 mm_int(const TileSparseBitMatrix& a, const BitTensor& b,
+                   const BmmOptions& opt = {}) const;
+
+  /// C = A x B requantized to `out.bits` with `out.act` applied in the fused
+  /// epilogue, returned as a left-side BitTensor ready for the next MM.
+  BitTensor mm_bit(const BitTensor& a, const BitTensor& b, const MmOut& out,
+                   const BmmOptions& opt = {}) const;
+
+  /// The execution context this session pins (the handle to hand to
+  /// QgtcModel::forward_prepared and friends).
+  [[nodiscard]] const tcsim::ExecutionContext& context() const { return ctx_; }
+  [[nodiscard]] tcsim::BackendKind backend() const {
+    return ctx_.backend_kind();
+  }
+
+  /// Substrate counters attributed to this session.
+  [[nodiscard]] tcsim::Counters counters() const { return ctx_.counters(); }
+  void reset_counters() { ctx_.reset_counters(); }
+
+  /// The process-wide session backing the free-function API: process default
+  /// backend, counters routed to the global per-thread registry (unchanged
+  /// legacy snapshot semantics).
+  static const Session& default_session();
+
+ private:
+  struct DefaultTag {};
+  explicit Session(DefaultTag) : ctx_() {}
+
+  tcsim::ExecutionContext ctx_;
+};
+
+}  // namespace qgtc::api

@@ -8,13 +8,16 @@ namespace qgtc::core {
 
 TunedConfig generate_runtime_config(const DatasetSpec& spec,
                                     const gnn::GnnConfig& model,
-                                    const DeviceProfile& dev, bool sparse_adj) {
+                                    const DeviceProfile& dev, bool sparse_adj,
+                                    TuneObjective objective) {
   QGTC_CHECK(spec.num_nodes > 0, "dataset spec has no nodes");
   QGTC_CHECK(dev.target_partition_nodes > 0 && dev.parallel_units > 0 &&
                  dev.memory_bytes > 0,
              "device profile fields must be positive");
   TunedConfig t;
-  t.sparse_adj = sparse_adj;
+  t.objective = objective;
+  t.mode.adjacency = sparse_adj ? RunMode::Adjacency::kTileSparse
+                                : RunMode::Adjacency::kDenseJump;
   t.fuse_epilogue = true;
   t.activation = model.activation;
 
@@ -38,9 +41,9 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
   // what lets batch sizes grow past the dense layout's memory wall. Batch
   // sizing must follow whichever layout the run will actually use.
   const auto adj_bits_estimate = [&](i64 parts_in_batch, i64 nb) {
-    return t.sparse_adj ? parts_in_batch * pad8(avg_part_nodes) *
-                              pad128(avg_part_nodes)
-                        : pad8(nb) * pad128(nb);
+    return t.mode.sparse_adj() ? parts_in_batch * pad8(avg_part_nodes) *
+                                     pad128(avg_part_nodes)
+                               : pad8(nb) * pad128(nb);
   };
   i64 batch = 1;
   while (batch < 2 * dev.parallel_units) {
@@ -74,23 +77,49 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
   // window (~2*depth + workers batches, see pipeline.hpp) stays inside the
   // same budget.
   t.epoch_bytes_estimate = batches_per_epoch * t.batch_bytes_estimate;
-  t.streaming = t.epoch_bytes_estimate > mem_budget;
+  t.mode.epoch = t.epoch_bytes_estimate > mem_budget
+                     ? RunMode::Epoch::kStreaming
+                     : RunMode::Epoch::kPrecomputed;
   const i64 batches_in_budget =
       mem_budget / std::max<i64>(t.batch_bytes_estimate, 1);
   // Prepare workers: host threads not already staffing the compute stage,
   // capped — every prepare worker holds one fully-built batch while blocked
   // on a full queue, so oversubscribing prepare inflates the in-flight
   // window the depth bound below must cover.
-  t.prepare_threads = static_cast<int>(std::clamp<i64>(
+  t.mode.prepare_threads = static_cast<int>(std::clamp<i64>(
       num_threads() - t.inter_batch_threads, 1,
       std::min<i64>(batches_per_epoch, 8)));
   // Queue depth: the peak in-flight window is ~2*depth + prepare_workers +
   // compute_workers + 1 batches (both queues full plus one batch in each
   // stage's hands — see pipeline.hpp). Solve that for the budget.
-  const i64 depth =
-      (batches_in_budget - t.prepare_threads - t.inter_batch_threads - 1) / 2;
-  t.pipeline_depth =
-      static_cast<int>(std::clamp<i64>(depth, 1, std::min<i64>(batches_per_epoch, 8)));
+  const i64 depth = (batches_in_budget - t.mode.prepare_threads -
+                     t.inter_batch_threads - 1) /
+                    2;
+  t.mode.pipeline_depth = static_cast<int>(
+      std::clamp<i64>(depth, 1, std::min<i64>(batches_per_epoch, 8)));
+
+  if (objective == TuneObjective::kLatency) {
+    // Latency profile: the serving critical path is submit -> coalesce ->
+    // prepare -> ship -> compute for ONE micro-batch, so depth beyond 1 only
+    // adds a queue for a request to age in, and prepare (host-side batch
+    // construction) dominates the per-request cost — staff it ahead of
+    // compute. Micro-batches are sized well below the throughput batch so a
+    // request never waits on a huge co-batch.
+    t.mode.pipeline_depth = 1;
+    const int workers = static_cast<int>(std::max<i64>(num_threads(), 2));
+    t.mode.prepare_threads = std::max(workers - workers / 3, 1);
+    t.inter_batch_threads = std::max(workers / 3, 1);
+    t.serving.prepare_workers = t.mode.prepare_threads;
+    t.serving.compute_workers = t.inter_batch_threads;
+    t.serving.queue_depth = 1;
+    // Node budget: a few partitions' worth per dispatch — enough coalescing
+    // to amortise the forward pass, small enough that padding + co-batch
+    // wait stay bounded.
+    t.serving.max_batch_nodes =
+        std::clamp<i64>(4 * avg_part_nodes, 256, 8192);
+    t.serving.max_batch_requests = 64;
+    t.serving.max_wait_us = 200;
+  }
   return t;
 }
 
@@ -98,10 +127,7 @@ void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.num_partitions = tuned.num_partitions;
   cfg.batch_size = tuned.batch_size;
   cfg.inter_batch_threads = tuned.inter_batch_threads;
-  cfg.sparse_adj = tuned.sparse_adj;
-  cfg.streaming = tuned.streaming;
-  cfg.pipeline_depth = tuned.pipeline_depth;
-  cfg.prepare_threads = tuned.prepare_threads;
+  cfg.mode = tuned.mode;
   cfg.model.fused_epilogue = tuned.fuse_epilogue;
   cfg.model.activation = tuned.activation;
 }

@@ -5,10 +5,14 @@
 // Given a dataset's shape and a device resource envelope, picks the
 // partition count and batch size the engine should use: partitions sized for
 // dense-but-parallel subgraphs, batches sized to fill the device without
-// exceeding its memory budget.
+// exceeding its memory budget. The `objective` selects between the offline
+// throughput profile (big batches, deep pipeline) and the online latency
+// profile (small micro-batches, shallow pipeline, prepare-heavy staffing —
+// the serving layer's per-request critical path is dominated by prepare).
 #pragma once
 
 #include "core/engine.hpp"
+#include "core/serving.hpp"
 
 namespace qgtc::core {
 
@@ -22,6 +26,16 @@ struct DeviceProfile {
   i64 target_partition_nodes = 160;
 };
 
+/// What the tuned run optimises for.
+enum class TuneObjective {
+  /// Offline epochs: maximise batch size / pipeline depth within the memory
+  /// budget (the paper's §6 protocol).
+  kThroughput,
+  /// Online serving: bound per-request latency — small micro-batches, depth
+  /// 1 (no queue for a request to age in), prepare-heavy worker split.
+  kLatency,
+};
+
 struct TunedConfig {
   i64 num_partitions = 0;
   i64 batch_size = 0;
@@ -31,22 +45,20 @@ struct TunedConfig {
   /// to cover the device's parallel units, never more than there are
   /// batches per epoch.
   int inter_batch_threads = 1;
-  /// Tile-sparse adjacency storage/scheduling/transfer: the default for
-  /// tuned runs — bit-identical to dense and never slower, with adjacency
-  /// memory at ~the nonzero-tile ratio (so larger batches fit the budget).
-  /// Callers wanting the dense baseline pass sparse_adj=false to the tuner
-  /// so batch sizing follows the dense memory model.
-  bool sparse_adj = true;
-  /// Streaming pipeline knobs (bit-identical either way). `streaming` turns
-  /// on when materialising the whole epoch would blow the device's
-  /// precompute budget — large datasets degrade to O(pipeline_depth)
-  /// residency instead of failing allocation. `pipeline_depth` is how many
-  /// per-batch footprints fit a conservative slice of device memory;
-  /// `prepare_threads` are the host threads left over after the compute
-  /// stage is staffed.
-  bool streaming = false;
-  int pipeline_depth = 2;
-  int prepare_threads = 1;
+  /// Epoch discipline + adjacency layout + streaming knobs, as one object —
+  /// the tuner emits the same RunMode every other config constructor uses.
+  /// Tile-sparse adjacency is the default for tuned runs (bit-identical to
+  /// dense and never slower, with adjacency memory at ~the nonzero-tile
+  /// ratio); callers wanting the dense baseline pass sparse_adj=false so
+  /// batch sizing follows the dense memory model. Streaming turns on when
+  /// materialising the whole epoch would blow the precompute budget.
+  RunMode mode;
+  /// The objective this config was generated for.
+  TuneObjective objective = TuneObjective::kThroughput;
+  /// Latency objective only: the serving layer's micro-batching policy
+  /// (node/request budgets sized to the tuned batch, stage staffing from the
+  /// same worker split as the pipeline knobs).
+  ServingPolicy serving;
   /// Fused quantized epilogue: requantize/activate/re-pack inside the tile
   /// flush. Default-on for tuned runs — bit-identical to the unfused path
   /// and strictly less memory traffic (one int32 sweep saved per stage).
@@ -65,7 +77,9 @@ struct TunedConfig {
 TunedConfig generate_runtime_config(const DatasetSpec& spec,
                                     const gnn::GnnConfig& model,
                                     const DeviceProfile& dev = {},
-                                    bool sparse_adj = true);
+                                    bool sparse_adj = true,
+                                    TuneObjective objective =
+                                        TuneObjective::kThroughput);
 
 /// Applies a tuned config onto an EngineConfig.
 void apply(const TunedConfig& tuned, EngineConfig& cfg);

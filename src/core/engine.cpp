@@ -16,8 +16,8 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
              "model in_dim must match dataset feature dim");
   QGTC_CHECK(cfg.model.out_dim == dataset.spec.num_classes,
              "model out_dim must match dataset class count");
-  QGTC_CHECK(cfg.pipeline_depth >= 1, "pipeline_depth must be >= 1");
-  QGTC_CHECK(cfg.prepare_threads >= 1, "prepare_threads must be >= 1");
+  QGTC_CHECK(cfg.mode.pipeline_depth >= 1, "pipeline_depth must be >= 1");
+  QGTC_CHECK(cfg.mode.prepare_threads >= 1, "prepare_threads must be >= 1");
 
   const PartitionResult parts =
       partition_graph(dataset.graph, cfg.num_partitions, {});
@@ -31,13 +31,13 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
   // depend on calibration state, so hoisting preserves bit-identity — and
   // streaming mode needs the shifts before its first compute stage runs.
   if (!batches_.empty()) {
-    BatchData front = prepare_batch(0, /*build_fp32_csr=*/!cfg.streaming);
-    if (cfg.sparse_adj) {
+    BatchData front = prepare_batch(0, /*build_fp32_csr=*/!cfg.mode.streaming());
+    if (cfg.mode.sparse_adj()) {
       model_.calibrate(front.adj_tiles, front.features);
     } else {
       model_.calibrate(front.adj, front.features);
     }
-    if (!cfg.streaming) {
+    if (!cfg.mode.streaming()) {
       // Precomputed mode materialises the whole epoch up front (untimed
       // preprocessing); the calibration batch is reused as batch 0.
       data_.reserve(batches_.size());
@@ -52,10 +52,15 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
 QgtcEngine::BatchData QgtcEngine::prepare_batch(i64 i,
                                                 bool build_fp32_csr) const {
   QGTC_CHECK(i >= 0 && i < num_batches(), "batch index out of range");
+  return prepare_subgraph(batches_[static_cast<std::size_t>(i)],
+                          build_fp32_csr);
+}
+
+QgtcEngine::BatchData QgtcEngine::prepare_subgraph(const SubgraphBatch& batch,
+                                                   bool build_fp32_csr) const {
   BatchData bd;
   static_cast<PreparedBatch&>(bd) = prepare_batch_data(
-      dataset_->graph, dataset_->features,
-      batches_[static_cast<std::size_t>(i)], cfg_.sparse_adj,
+      dataset_->graph, dataset_->features, batch, cfg_.mode.sparse_adj(),
       /*add_self_loops=*/true, build_fp32_csr);
   bd.x_planes = model_.prepare_input(bd.features);
   return bd;
@@ -74,29 +79,24 @@ int epoch_workers(int requested, i64 batches) {
   return static_cast<int>(std::clamp<i64>(requested, 1, std::max<i64>(batches, 1)));
 }
 
-/// Packs an already-prepared batch into `slot` — the pack-into-slot dispatch
-/// the streaming ship stage and transfer accounting share. Ships the
-/// *prepared* input planes as-is: the host quantized and decomposed the
-/// features exactly once, so the bytes on the wire are byte-for-byte the
-/// bytes the device computes on (no re-quantization on the transfer path).
-transfer::PackedSubgraph pack_prepared(const QgtcEngine::BatchData& bd,
-                                       bool sparse_adj,
-                                       transfer::StagingBuffer& slot,
-                                       const transfer::PcieModel& pcie) {
-  return sparse_adj
-             ? transfer::pack_batch_tiles(bd.adj_tiles, bd.x_planes, slot, pcie)
-             : transfer::pack_batch(bd.adj, bd.x_planes, slot, pcie);
-}
-
 /// Execution-setup stamp shared by both run paths.
 void stamp_execution(EngineStats& stats, const EngineConfig& cfg, int workers) {
   stats.backend = tcsim::backend_name(cfg.backend);
   stats.inter_batch_threads = workers;
-  stats.streaming = cfg.streaming;
-  stats.pipeline_depth = cfg.streaming ? cfg.pipeline_depth : 0;
+  stats.streaming = cfg.mode.streaming();
+  stats.pipeline_depth = cfg.mode.streaming() ? cfg.mode.pipeline_depth : 0;
   stats.vm_hwm_bytes = vm_hwm_bytes();
 }
 }  // namespace
+
+transfer::PackedSubgraph pack_prepared_batch(const QgtcEngine::BatchData& bd,
+                                             bool sparse_adj,
+                                             transfer::StagingBuffer& slot,
+                                             const transfer::PcieModel& pcie) {
+  return sparse_adj
+             ? transfer::pack_batch_tiles(bd.adj_tiles, bd.x_planes, slot, pcie)
+             : transfer::pack_batch(bd.adj, bd.x_planes, slot, pcie);
+}
 
 EngineStats QgtcEngine::run_quantized(int rounds,
                                       std::vector<MatrixI32>* logits_out) {
@@ -104,7 +104,7 @@ EngineStats QgtcEngine::run_quantized(int rounds,
   if (logits_out != nullptr) {
     logits_out->assign(static_cast<std::size_t>(num_batches()), MatrixI32{});
   }
-  return cfg_.streaming ? run_quantized_streaming(rounds, logits_out)
+  return cfg_.mode.streaming() ? run_quantized_streaming(rounds, logits_out)
                         : run_quantized_precomputed(rounds, logits_out);
 }
 
@@ -127,7 +127,7 @@ EngineStats QgtcEngine::run_quantized_precomputed(
       const BatchData& bd = data_[static_cast<std::size_t>(i)];
       tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
       MatrixI32 logits =
-          cfg_.sparse_adj
+          cfg_.mode.sparse_adj()
               ? model_.forward_prepared(bd.adj_tiles, bd.x_planes,
                                         /*stats=*/nullptr, &ctx)
               : model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
@@ -165,7 +165,7 @@ EngineStats QgtcEngine::run_quantized_streaming(
   EngineStats stats;
   stats.batches = num_batches();
   const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
-  const int preparers = epoch_workers(cfg_.prepare_threads, num_batches());
+  const int preparers = epoch_workers(cfg_.mode.prepare_threads, num_batches());
   stats.prepare_threads = preparers;
 
   std::deque<tcsim::ExecutionContext> ctxs;
@@ -176,7 +176,7 @@ EngineStats QgtcEngine::run_quantized_streaming(
   const transfer::PcieModel pcie;
   StreamEpochConfig pcfg;
   pcfg.num_batches = num_batches();
-  pcfg.depth = cfg_.pipeline_depth;
+  pcfg.depth = cfg_.mode.pipeline_depth;
   pcfg.prepare_workers = preparers;
   pcfg.compute_workers = workers;
   // The ring outlives the per-epoch pipeline so the warm-up epoch grows the
@@ -192,13 +192,13 @@ EngineStats QgtcEngine::run_quantized_streaming(
         [](const BatchData& bd) { return bd.prepared_bytes(); },
         /*ship=*/
         [&](BatchData& bd, transfer::StagingBuffer& slot) {
-          return pack_prepared(bd, cfg_.sparse_adj, slot, pcie);
+          return pack_prepared_batch(bd, cfg_.mode.sparse_adj(), slot, pcie);
         },
         /*compute=*/
         [&](const BatchData& bd, i64 i, int w) {
           tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
           MatrixI32 logits =
-              cfg_.sparse_adj
+              cfg_.mode.sparse_adj()
                   ? model_.forward_prepared(bd.adj_tiles, bd.x_planes,
                                             /*stats=*/nullptr, &ctx)
                   : model_.forward_prepared(bd.adj, &bd.tile_map, bd.x_planes,
@@ -249,10 +249,10 @@ EngineStats QgtcEngine::run_fp32(int rounds) {
   stats.batches = num_batches();
   const int workers = epoch_workers(cfg_.inter_batch_threads, num_batches());
   stats.inter_batch_threads = workers;
-  stats.streaming = cfg_.streaming;
+  stats.streaming = cfg_.mode.streaming();
   const auto epoch = [&] {
     parallel_for_workers(0, num_batches(), workers, [&](i64 i, int) {
-      if (cfg_.streaming) {
+      if (cfg_.mode.streaming()) {
         // Bounded memory: each worker builds only the fp32 inputs its batch
         // needs and drops them at the end of the iteration.
         const SubgraphBatch& b = batches_[static_cast<std::size_t>(i)];
@@ -277,7 +277,7 @@ EngineStats QgtcEngine::run_fp32(int rounds) {
 EngineStats QgtcEngine::transfer_accounting() const {
   EngineStats stats;
   stats.batches = num_batches();
-  stats.streaming = cfg_.streaming;
+  stats.streaming = cfg_.mode.streaming();
   transfer::PcieModel pcie;
   transfer::StagingBuffer staging;
   // Packed path: 1-bit adjacency + s-bit embedding planes as one compound
@@ -286,7 +286,7 @@ EngineStats QgtcEngine::transfer_accounting() const {
   // re-derived here). Sparse mode ships the tile-CSR instead of the dense
   // bit plane.
   const auto account = [&](const BatchData& bd) {
-    const auto packed = pack_prepared(bd, cfg_.sparse_adj, staging, pcie);
+    const auto packed = pack_prepared_batch(bd, cfg_.mode.sparse_adj(), staging, pcie);
     stats.packed_bytes += packed.total_bytes;
     stats.packed_transfer_seconds += packed.modeled_seconds;
     stats.adj_bytes += packed.adjacency_bytes;
@@ -296,7 +296,7 @@ EngineStats QgtcEngine::transfer_accounting() const {
     stats.dense_bytes += dense.total_bytes;
     stats.dense_transfer_seconds += dense.modeled_seconds;
   };
-  if (cfg_.streaming) {
+  if (cfg_.mode.streaming()) {
     // One batch resident at a time — accounting stays inside the streaming
     // memory budget (the fp32-only CSR is not part of the packed payload).
     for (i64 i = 0; i < num_batches(); ++i) {
@@ -315,7 +315,7 @@ double QgtcEngine::nonzero_tile_ratio() const {
     total += tiles.total_tiles();
     nonzero += tiles.nnz_tiles();
   };
-  if (cfg_.streaming) {
+  if (cfg_.mode.streaming()) {
     for (const SubgraphBatch& b : batches_) {
       census(build_batch_adjacency_tiles(dataset_->graph, b,
                                          /*add_self_loops=*/true));

@@ -29,6 +29,54 @@
 
 namespace qgtc::core {
 
+/// Run-mode knobs collapsed into one documented object — every constructor
+/// of an engine config (CLI, autotuner, tests, serving layer) picks an epoch
+/// execution discipline and an adjacency layout the same way, instead of the
+/// old `streaming` / `sparse_adj` boolean sprawl.
+struct RunMode {
+  /// Epoch execution discipline.
+  enum class Epoch {
+    /// Materialise every batch up front (untimed preprocessing, O(epoch)
+    /// resident) — the paper's §6 timing protocol.
+    kPrecomputed,
+    /// Batches are prepared lazily and flow through the bounded
+    /// prepare/ship/compute pipeline: O(pipeline_depth) resident, PCIe model
+    /// charged inline. Datasets larger than the precompute budget become a
+    /// config knob, not a crash.
+    kStreaming,
+  };
+  /// Batch-adjacency storage / scheduling / transfer layout.
+  enum class Adjacency {
+    /// Dense BitMatrix + cached zero-tile jump map (the flag-jump baseline).
+    kDenseJump,
+    /// Tile-CSR holding only nonzero 8x128 tiles: bit-identical results,
+    /// adjacency memory and shipped bytes at ~the nonzero-tile ratio
+    /// (Figure 8). Default off so the dense baseline stays comparable.
+    kTileSparse,
+  };
+
+  Epoch epoch = Epoch::kPrecomputed;
+  Adjacency adjacency = Adjacency::kDenseJump;
+  /// Streaming only: capacity of each inter-stage queue — the peak-memory
+  /// bound is ~(2*depth + workers) live batches.
+  int pipeline_depth = 2;
+  /// Streaming only: prepare-stage workers (host-side batch construction).
+  int prepare_threads = 1;
+
+  [[nodiscard]] bool streaming() const { return epoch == Epoch::kStreaming; }
+  [[nodiscard]] bool sparse_adj() const {
+    return adjacency == Adjacency::kTileSparse;
+  }
+
+  static RunMode precomputed(Adjacency adj = Adjacency::kDenseJump) {
+    return RunMode{Epoch::kPrecomputed, adj, 2, 1};
+  }
+  static RunMode streaming_pipeline(int depth, int prepare,
+                                    Adjacency adj = Adjacency::kDenseJump) {
+    return RunMode{Epoch::kStreaming, adj, depth, prepare};
+  }
+};
+
 struct EngineConfig {
   gnn::GnnConfig model;
   i64 num_partitions = 1500;  // paper's METIS setting
@@ -41,22 +89,8 @@ struct EngineConfig {
   /// deterministically). 1 = the sequential legacy schedule. In streaming
   /// mode this is the compute-stage worker count.
   int inter_batch_threads = 1;
-  /// Structural sparsity: store, schedule and ship each batch adjacency as a
-  /// tile-CSR (only nonzero 8x128 tiles) instead of a dense BitMatrix + flag
-  /// map. Bit-identical results; adjacency memory and packed-transfer bytes
-  /// shrink to ~the nonzero-tile ratio (Figure 8). Default off so the dense
-  /// baseline/ablation paths stay directly comparable.
-  bool sparse_adj = false;
-  /// Streaming mode: batches are prepared lazily and flow through the
-  /// bounded prepare/ship/compute pipeline instead of being materialised for
-  /// the whole epoch. Datasets larger than the precompute budget become a
-  /// config knob, not a crash.
-  bool streaming = false;
-  /// Capacity of each inter-stage queue in streaming mode — the peak-memory
-  /// bound is ~(2*depth + workers) live batches.
-  int pipeline_depth = 2;
-  /// Prepare-stage workers in streaming mode (host-side batch construction).
-  int prepare_threads = 1;
+  /// Epoch execution discipline + adjacency layout (see RunMode).
+  RunMode mode;
 };
 
 struct EngineStats {
@@ -156,11 +190,23 @@ class QgtcEngine {
   /// the transfer accounting never read it.
   [[nodiscard]] BatchData prepare_batch(i64 i, bool build_fp32_csr = true) const;
 
+  /// Builds complete batch data for an *arbitrary* subgraph batch — the
+  /// serving layer's dynamic micro-batches ride the exact same prepare path
+  /// as the epoch batches (`prepare_batch_data` + `QgtcModel::prepare_input`),
+  /// so a request served online is bit-identical to the same batch
+  /// membership run through the offline epoch path.
+  [[nodiscard]] BatchData prepare_subgraph(const SubgraphBatch& batch,
+                                           bool build_fp32_csr = false) const;
+
+  /// The dataset this engine serves (global CSR + features — the serving
+  /// layer's ego-graph expansion walks it).
+  [[nodiscard]] const Dataset& dataset() const { return *dataset_; }
+
   /// Precomputed mode only: the materialised per-batch data (exposed for
   /// the ablation/zero-tile benches). Throws in streaming mode, which never
   /// holds a full epoch.
   [[nodiscard]] const std::vector<BatchData>& batch_data() const {
-    QGTC_CHECK(!cfg_.streaming,
+    QGTC_CHECK(!cfg_.mode.streaming(),
                "batch_data() is precomputed-mode only; streaming engines "
                "never materialise the epoch");
     return data_;
@@ -178,5 +224,16 @@ class QgtcEngine {
   std::vector<SubgraphBatch> batches_;
   std::vector<BatchData> data_;  // precomputed mode only
 };
+
+/// Packs an already-prepared batch into `slot` (dense plane or tile-CSR
+/// payload, per `sparse_adj`) — the pack-into-slot dispatch shared by the
+/// streaming ship stage, transfer accounting, and the serving pipeline's
+/// ship stage. Ships the *prepared* input planes as-is: the host quantized
+/// and decomposed the features exactly once, so the bytes on the wire are
+/// byte-for-byte the bytes the device computes on.
+transfer::PackedSubgraph pack_prepared_batch(const QgtcEngine::BatchData& bd,
+                                             bool sparse_adj,
+                                             transfer::StagingBuffer& slot,
+                                             const transfer::PcieModel& pcie);
 
 }  // namespace qgtc::core

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -58,6 +59,27 @@ class BoundedQueue {
     return true;
   }
 
+  /// Outcome of a timed pop: an item, a timeout (queue still live), or the
+  /// end of the stream (closed and drained / aborted).
+  enum class PopStatus { kItem, kTimeout, kClosed };
+
+  /// pop() with a deadline: waits up to `timeout_us` for an item, writing it
+  /// into `out` on success. kTimeout means the queue is still open but
+  /// nothing arrived in time — the serving batcher's max-wait dispatch edge.
+  PopStatus pop_for(i64 timeout_us, T& out) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                             [&] { return !items_.empty() || closed_; })) {
+      return PopStatus::kTimeout;
+    }
+    if (items_.empty()) return PopStatus::kClosed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return PopStatus::kItem;
+  }
+
   /// Nullopt when the stream ended (closed and drained, or aborted).
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
@@ -90,6 +112,26 @@ class BoundedQueue {
     }
     not_full_.notify_all();
     not_empty_.notify_all();
+  }
+
+  /// Reopens a closed or aborted queue for reuse, dropping any still-pending
+  /// items. A long-lived server that aborted a poisoned epoch calls this to
+  /// survive: the failure kills that epoch's items, not the queue — without
+  /// it a single bad batch would leave every later push/pop returning
+  /// end-of-stream forever.
+  void reset() {
+    {
+      std::lock_guard lock(mu_);
+      items_.clear();
+      closed_ = false;
+    }
+    // Producers parked in push() re-check the (now open, empty) queue.
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
   }
 
   [[nodiscard]] std::size_t capacity() const { return cap_; }

@@ -1,0 +1,377 @@
+#include "core/serving.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/stats.hpp"
+
+namespace qgtc::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+/// One admitted request riding through the pipeline: the expanded ego-graph
+/// node set plus the promise the client is waiting on.
+struct ServingEngine::Pending {
+  ServingRequest req;
+  std::vector<i32> nodes;
+  std::promise<ServingResult> promise;
+  Clock::time_point submitted{};
+  double queue_seconds = 0;  // stamped at dispatch
+};
+
+/// A coalesced micro-batch: member requests + the block-diagonal batch they
+/// form (one partition per request) + the prepared data the pipeline fills.
+struct ServingEngine::MicroBatch {
+  std::vector<Pending> members;
+  SubgraphBatch batch;
+  QgtcEngine::BatchData bd;
+};
+
+ServingEngine::ServingEngine(const Dataset& dataset, EngineConfig cfg,
+                             const ServingPolicy& policy)
+    : policy_(policy) {
+  QGTC_CHECK(policy_.max_batch_nodes >= 1 && policy_.max_batch_requests >= 1,
+             "micro-batch budgets must be >= 1");
+  QGTC_CHECK(policy_.max_wait_us >= 0, "max_wait_us must be non-negative");
+  QGTC_CHECK(policy_.prepare_workers >= 1 && policy_.compute_workers >= 1,
+             "stage worker counts must be >= 1");
+  QGTC_CHECK(policy_.admission_capacity >= 1 && policy_.queue_depth >= 1,
+             "queue capacities must be >= 1");
+
+  // Streaming mode: the engine calibrates off batch 0 but never materialises
+  // an offline epoch — the server's batches are the dynamic micro-batches.
+  cfg.mode.epoch = RunMode::Epoch::kStreaming;
+  engine_ = std::make_unique<QgtcEngine>(dataset, cfg);
+
+  admission_ = std::make_unique<BoundedQueue<Pending>>(
+      static_cast<std::size_t>(policy_.admission_capacity));
+  prep_q_ = std::make_unique<BoundedQueue<MicroBatch>>(
+      static_cast<std::size_t>(policy_.queue_depth));
+  ship_q_ = std::make_unique<BoundedQueue<MicroBatch>>(
+      static_cast<std::size_t>(policy_.queue_depth));
+  compute_q_ = std::make_unique<BoundedQueue<MicroBatch>>(
+      static_cast<std::size_t>(policy_.queue_depth));
+
+  for (int w = 0; w < policy_.compute_workers; ++w) {
+    sessions_.emplace_back(cfg.backend, /*private_counters=*/true);
+  }
+
+  batcher_ = std::thread([this] { batcher_loop(); });
+  preparers_.reserve(static_cast<std::size_t>(policy_.prepare_workers));
+  for (int p = 0; p < policy_.prepare_workers; ++p) {
+    preparers_.emplace_back([this] { prepare_loop(); });
+  }
+  shipper_ = std::thread([this] { ship_loop(); });
+  computers_.reserve(static_cast<std::size_t>(policy_.compute_workers));
+  for (int w = 0; w < policy_.compute_workers; ++w) {
+    computers_.emplace_back([this, w] { compute_loop(static_cast<std::size_t>(w)); });
+  }
+  started_ = true;
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+std::future<ServingResult> ServingEngine::submit(ServingRequest req) {
+  Pending p;
+  p.submitted = Clock::now();
+  std::future<ServingResult> fut = p.promise.get_future();
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    if (stopped_) throw std::runtime_error("ServingEngine is stopped");
+  }
+  // Admission-time expansion: a bad request fails its own future here, long
+  // before it could poison a micro-batch.
+  try {
+    p.nodes = expand_ego(engine_->dataset().graph, req.seeds, req.fanout,
+                         req.max_nodes);
+  } catch (...) {
+    p.promise.set_exception(std::current_exception());
+    return fut;
+  }
+  p.req = std::move(req);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.requests_admitted;
+  }
+  if (!admission_->push(std::move(p))) {
+    // Raced with stop(): push() refuses without consuming the item.
+    p.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("ServingEngine stopped during admission")));
+  }
+  return fut;
+}
+
+ServingResult ServingEngine::infer(ServingRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void ServingEngine::stop() {
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  // Ordered drain: close each queue only after its producers have joined, so
+  // every admitted request still flows through to its promise.
+  admission_->close();
+  batcher_.join();  // closes prep_q_ after flushing the partial batch
+  for (std::thread& t : preparers_) t.join();
+  ship_q_->close();
+  shipper_.join();
+  compute_q_->close();
+  for (std::thread& t : computers_) t.join();
+}
+
+ServingStats ServingEngine::stats() const {
+  ServingStats s;
+  {
+    std::lock_guard lock(stats_mu_);
+    s = stats_;
+  }
+  for (const api::Session& session : sessions_) {
+    const tcsim::Counters c = session.counters();
+    s.bmma_ops += static_cast<i64>(c.bmma_ops);
+    s.tiles_jumped += static_cast<i64>(c.tiles_jumped);
+  }
+  return s;
+}
+
+void ServingEngine::fail_batch(MicroBatch& batch,
+                               const std::exception_ptr& err) {
+  for (Pending& p : batch.members) p.promise.set_exception(err);
+  std::lock_guard lock(stats_mu_);
+  stats_.requests_failed += static_cast<i64>(batch.members.size());
+}
+
+void ServingEngine::dispatch(MicroBatch&& batch, bool timed_out) {
+  const Clock::time_point now = Clock::now();
+  batch.batch.part_bounds.assign(1, 0);
+  batch.batch.nodes.clear();
+  for (Pending& p : batch.members) {
+    batch.batch.nodes.insert(batch.batch.nodes.end(), p.nodes.begin(),
+                             p.nodes.end());
+    batch.batch.part_bounds.push_back(
+        static_cast<i64>(batch.batch.nodes.size()));
+    p.queue_seconds = std::chrono::duration<double>(now - p.submitted).count();
+  }
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.batches_dispatched;
+    stats_.batch_nodes_total += batch.batch.size();
+    ++(timed_out ? stats_.dispatches_timeout : stats_.dispatches_full);
+  }
+  if (!prep_q_->push(std::move(batch))) {
+    fail_batch(batch, std::make_exception_ptr(std::runtime_error(
+                          "ServingEngine pipeline shut down mid-dispatch")));
+  }
+}
+
+void ServingEngine::batcher_loop() {
+  MicroBatch cur;
+  i64 cur_nodes = 0;
+  Clock::time_point oldest{};
+  const auto flush = [&](bool timed_out) {
+    if (cur.members.empty()) return;
+    dispatch(std::move(cur), timed_out);
+    cur = MicroBatch{};
+    cur_nodes = 0;
+  };
+
+  for (;;) {
+    Pending p;
+    if (cur.members.empty()) {
+      // Nothing pending: block until a request (or shutdown) arrives.
+      std::optional<Pending> item = admission_->pop();
+      if (!item.has_value()) break;
+      p = std::move(*item);
+    } else {
+      // A partial batch is open: wait at most the oldest member's remaining
+      // max_wait budget, then dispatch what we have.
+      const i64 waited_us = static_cast<i64>(seconds_since(oldest) * 1e6);
+      const i64 remaining_us = policy_.max_wait_us - waited_us;
+      if (remaining_us <= 0) {
+        flush(/*timed_out=*/true);
+        continue;
+      }
+      const auto st = admission_->pop_for(remaining_us, p);
+      if (st == BoundedQueue<Pending>::PopStatus::kTimeout) {
+        flush(/*timed_out=*/true);
+        continue;
+      }
+      if (st == BoundedQueue<Pending>::PopStatus::kClosed) break;
+    }
+
+    const i64 n = static_cast<i64>(p.nodes.size());
+    // Close the open batch first if this request would overflow it. A single
+    // request larger than max_batch_nodes still dispatches — alone.
+    if (!cur.members.empty() &&
+        (cur_nodes + n > policy_.max_batch_nodes ||
+         static_cast<i64>(cur.members.size()) >= policy_.max_batch_requests)) {
+      flush(/*timed_out=*/false);
+    }
+    if (cur.members.empty()) oldest = p.submitted;
+    cur_nodes += n;
+    cur.members.push_back(std::move(p));
+    if (cur_nodes >= policy_.max_batch_nodes ||
+        static_cast<i64>(cur.members.size()) >= policy_.max_batch_requests) {
+      flush(/*timed_out=*/false);
+    }
+  }
+  flush(/*timed_out=*/false);  // shutdown: the partial batch still completes
+  prep_q_->close();
+}
+
+void ServingEngine::prepare_loop() {
+  while (std::optional<MicroBatch> mb = prep_q_->pop()) {
+    try {
+      // The offline prepare path, verbatim: prepare_batch_data +
+      // QgtcModel::prepare_input over the dynamic micro-batch.
+      mb->bd = engine_->prepare_subgraph(mb->batch);
+    } catch (...) {
+      fail_batch(*mb, std::current_exception());
+      continue;
+    }
+    if (!ship_q_->push(std::move(*mb))) {
+      fail_batch(*mb, std::make_exception_ptr(std::runtime_error(
+                          "ServingEngine pipeline shut down mid-prepare")));
+    }
+  }
+}
+
+void ServingEngine::ship_loop() {
+  const bool sparse = engine_->config().mode.sparse_adj();
+  while (std::optional<MicroBatch> mb = ship_q_->pop()) {
+    try {
+      const transfer::PackedSubgraph packed =
+          pack_prepared_batch(mb->bd, sparse, ring_.next(), pcie_);
+      std::lock_guard lock(stats_mu_);
+      stats_.packed_bytes += packed.total_bytes;
+      stats_.wire_seconds += packed.modeled_seconds;
+    } catch (...) {
+      fail_batch(*mb, std::current_exception());
+      continue;
+    }
+    if (!compute_q_->push(std::move(*mb))) {
+      fail_batch(*mb, std::make_exception_ptr(std::runtime_error(
+                          "ServingEngine pipeline shut down mid-ship")));
+    }
+  }
+}
+
+void ServingEngine::compute_loop(std::size_t worker) {
+  const bool sparse = engine_->config().mode.sparse_adj();
+  const api::Session& session = sessions_[worker];
+  while (std::optional<MicroBatch> mb = compute_q_->pop()) {
+    try {
+      const QgtcEngine::BatchData& bd = mb->bd;
+      const MatrixI32 logits =
+          sparse ? engine_->model().forward_prepared(bd.adj_tiles, bd.x_planes,
+                                                     /*stats=*/nullptr,
+                                                     &session.context())
+                 : engine_->model().forward_prepared(bd.adj, &bd.tile_map,
+                                                     bd.x_planes,
+                                                     /*stats=*/nullptr,
+                                                     &session.context());
+      const Clock::time_point done = Clock::now();
+      for (std::size_t m = 0; m < mb->members.size(); ++m) {
+        Pending& p = mb->members[m];
+        const i64 r0 = mb->batch.part_bounds[m];
+        const i64 r1 = mb->batch.part_bounds[m + 1];
+        ServingResult res;
+        res.nodes = std::move(p.nodes);
+        res.logits = MatrixI32(r1 - r0, logits.cols());
+        for (i64 r = r0; r < r1; ++r) {
+          const auto src = logits.row(r);
+          std::copy(src.begin(), src.end(), res.logits.row(r - r0).begin());
+        }
+        res.batch_nodes = mb->batch.size();
+        res.batch_requests = static_cast<i64>(mb->members.size());
+        res.timing.queue_seconds = p.queue_seconds;
+        res.timing.total_seconds =
+            std::chrono::duration<double>(done - p.submitted).count();
+        p.promise.set_value(std::move(res));
+      }
+      std::lock_guard lock(stats_mu_);
+      stats_.requests_completed += static_cast<i64>(mb->members.size());
+    } catch (...) {
+      fail_batch(*mb, std::current_exception());
+    }
+  }
+}
+
+LoadReport run_poisson_load(ServingEngine& serving, const LoadSpec& spec) {
+  QGTC_CHECK(spec.num_requests >= 1, "load spec needs at least one request");
+  QGTC_CHECK(spec.target_qps > 0, "target_qps must be positive");
+  QGTC_CHECK(spec.seeds_per_request >= 1, "need at least one seed per request");
+  const CsrGraph& g = serving.engine().dataset().graph;
+  const i64 n = g.num_nodes();
+  QGTC_CHECK(n >= spec.seeds_per_request,
+             "dataset smaller than seeds_per_request");
+
+  Rng rng(spec.seed);
+  std::vector<std::future<ServingResult>> futures;
+  futures.reserve(static_cast<std::size_t>(spec.num_requests));
+
+  // Open loop: arrival times are fixed up front by the Poisson process and
+  // honoured regardless of completions, so queueing delay shows up in the
+  // tail instead of being absorbed by a self-throttling client.
+  Timer wall;
+  double next_arrival = 0.0;
+  for (i64 i = 0; i < spec.num_requests; ++i) {
+    next_arrival +=
+        -std::log(1.0 - static_cast<double>(rng.next_float())) /
+        spec.target_qps;
+    while (wall.seconds() < next_arrival) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    ServingRequest req;
+    req.fanout = spec.fanout;
+    req.max_nodes = spec.max_nodes;
+    req.seeds.reserve(static_cast<std::size_t>(spec.seeds_per_request));
+    while (static_cast<int>(req.seeds.size()) < spec.seeds_per_request) {
+      const i32 s = static_cast<i32>(rng.next_below(static_cast<u64>(n)));
+      bool dup = false;
+      for (const i32 t : req.seeds) dup = dup || (t == s);
+      if (!dup) req.seeds.push_back(s);
+    }
+    futures.push_back(serving.submit(std::move(req)));
+  }
+
+  LoadReport rep;
+  rep.offered_qps = spec.target_qps;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(futures.size());
+  double batch_requests_sum = 0;
+  for (std::future<ServingResult>& f : futures) {
+    try {
+      const ServingResult res = f.get();
+      latencies_ms.push_back(res.timing.total_seconds * 1e3);
+      batch_requests_sum += static_cast<double>(res.batch_requests);
+      ++rep.completed;
+    } catch (...) {
+      ++rep.failed;
+    }
+  }
+  rep.wall_seconds = wall.seconds();
+  rep.sustained_qps =
+      rep.wall_seconds > 0 ? static_cast<double>(rep.completed) / rep.wall_seconds : 0;
+  rep.p50_ms = percentile(latencies_ms, 50.0);
+  rep.p99_ms = percentile(latencies_ms, 99.0);
+  rep.p999_ms = percentile(latencies_ms, 99.9);
+  rep.mean_batch_requests =
+      rep.completed > 0 ? batch_requests_sum / static_cast<double>(rep.completed) : 0;
+  return rep;
+}
+
+}  // namespace qgtc::core

@@ -1,5 +1,6 @@
 #include "core/stats.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -43,6 +44,17 @@ void TablePrinter::print(std::ostream& os) const {
   for (const std::size_t w : widths) total += w + 2;
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) print_row(row);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  QGTC_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }
 
 }  // namespace qgtc::core

@@ -28,4 +28,9 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// The p-th percentile (p in [0, 100]) of `xs` by linear interpolation
+/// between closest ranks — the serving bench's p50/p99/p999 reduction.
+/// Takes its argument by value (sorts a copy). Returns 0 for an empty input.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace qgtc::core

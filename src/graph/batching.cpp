@@ -25,6 +25,40 @@ std::vector<SubgraphBatch> make_batches(const PartitionResult& parts,
   return batches;
 }
 
+std::vector<i32> expand_ego(const CsrGraph& g, const std::vector<i32>& seeds,
+                            int fanout, i64 max_nodes) {
+  QGTC_CHECK(!seeds.empty(), "ego-graph expansion needs at least one seed");
+  QGTC_CHECK(fanout >= 0, "fanout must be non-negative");
+  std::vector<u8> visited(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<i32> nodes;
+  nodes.reserve(seeds.size());
+  for (const i32 s : seeds) {
+    QGTC_CHECK(s >= 0 && s < g.num_nodes(), "seed node id out of range");
+    QGTC_CHECK(!visited[static_cast<std::size_t>(s)], "duplicate seed node");
+    visited[static_cast<std::size_t>(s)] = 1;
+    nodes.push_back(s);
+  }
+  // Level-synchronous BFS over the discovery-ordered `nodes` vector itself:
+  // [lo, hi) is the current frontier, appended neighbours form the next one.
+  std::size_t lo = 0;
+  for (int hop = 0; hop < fanout; ++hop) {
+    const std::size_t hi = nodes.size();
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (const i32 v : g.neighbors(nodes[i])) {
+        if (visited[static_cast<std::size_t>(v)]) continue;
+        if (max_nodes > 0 && static_cast<i64>(nodes.size()) >= max_nodes) {
+          return nodes;
+        }
+        visited[static_cast<std::size_t>(v)] = 1;
+        nodes.push_back(v);
+      }
+    }
+    if (hi == nodes.size()) break;  // frontier exhausted early
+    lo = hi;
+  }
+  return nodes;
+}
+
 namespace {
 
 /// Applies fn(local_u, local_v) for every intra-partition edge of the batch

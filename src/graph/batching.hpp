@@ -28,6 +28,17 @@ struct SubgraphBatch {
 std::vector<SubgraphBatch> make_batches(const PartitionResult& parts,
                                         i64 batch_size);
 
+/// Expands a request's seed nodes into an ego-graph node set by `fanout`-hop
+/// BFS over the global CSR (fanout 0 = the seeds themselves). Nodes come
+/// back deduplicated in discovery order, seeds first — the serving layer
+/// treats the result as one partition of a dynamic micro-batch, so its edges
+/// (intra-partition by the block-diagonal rule) are exactly the subgraph the
+/// request asked about. `max_nodes > 0` truncates the frontier once the set
+/// reaches that size (admission control for runaway hubs); seeds are always
+/// kept. Throws if any seed is out of range or duplicated.
+std::vector<i32> expand_ego(const CsrGraph& g, const std::vector<i32>& seeds,
+                            int fanout, i64 max_nodes = 0);
+
 /// Builds the batch's dense binary adjacency (kRowMajorK, PAD8 rows) with
 /// only intra-partition edges, plus self-loops when `add_self_loops`.
 BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,

@@ -81,17 +81,17 @@ TEST(Autotune, StreamingKnobsFollowPrecomputeBudget) {
   DeviceProfile tiny;
   tiny.memory_bytes = 8 * 1024 * 1024;  // epoch cannot be precomputed here
   const TunedConfig small_cfg = generate_runtime_config(spec, model_for(spec), tiny);
-  EXPECT_TRUE(small_cfg.streaming);
-  EXPECT_GE(small_cfg.pipeline_depth, 1);
-  EXPECT_LE(small_cfg.pipeline_depth, 8);
-  EXPECT_GE(small_cfg.prepare_threads, 1);
+  EXPECT_TRUE(small_cfg.mode.streaming());
+  EXPECT_GE(small_cfg.mode.pipeline_depth, 1);
+  EXPECT_LE(small_cfg.mode.pipeline_depth, 8);
+  EXPECT_GE(small_cfg.mode.prepare_threads, 1);
   EXPECT_GT(small_cfg.epoch_bytes_estimate, tiny.memory_bytes / 4);
 
   DeviceProfile big;  // 24 GB default: small graphs precompute comfortably
   DatasetSpec small_graph{"tiny", 2000, 10000, 8, 2, 4, 3};
   const TunedConfig big_cfg =
       generate_runtime_config(small_graph, model_for(small_graph), big);
-  EXPECT_FALSE(big_cfg.streaming);
+  EXPECT_FALSE(big_cfg.mode.streaming());
 }
 
 TEST(Autotune, ApplyCopiesStreamingKnobs) {
@@ -101,9 +101,29 @@ TEST(Autotune, ApplyCopiesStreamingKnobs) {
   const TunedConfig t = generate_runtime_config(spec, model_for(spec), tiny);
   EngineConfig cfg;
   apply(t, cfg);
-  EXPECT_EQ(cfg.streaming, t.streaming);
-  EXPECT_EQ(cfg.pipeline_depth, t.pipeline_depth);
-  EXPECT_EQ(cfg.prepare_threads, t.prepare_threads);
+  EXPECT_EQ(cfg.mode.streaming(), t.mode.streaming());
+  EXPECT_EQ(cfg.mode.pipeline_depth, t.mode.pipeline_depth);
+  EXPECT_EQ(cfg.mode.prepare_threads, t.mode.prepare_threads);
+}
+
+TEST(Autotune, LatencyObjectiveShapesServingPolicy) {
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  const TunedConfig t =
+      generate_runtime_config(spec, model_for(spec), DeviceProfile{},
+                              /*sparse_adj=*/true, TuneObjective::kLatency);
+  EXPECT_EQ(t.objective, TuneObjective::kLatency);
+  // Latency profile: no queue for a request to age in, prepare staffed at
+  // least as heavily as compute (prepare dominates the per-request path).
+  EXPECT_EQ(t.mode.pipeline_depth, 1);
+  EXPECT_EQ(t.serving.queue_depth, 1);
+  EXPECT_GE(t.serving.prepare_workers, t.serving.compute_workers);
+  EXPECT_GE(t.serving.max_batch_nodes, 256);
+  EXPECT_LE(t.serving.max_batch_nodes, 8192);
+  EXPECT_GT(t.serving.max_wait_us, 0);
+
+  // The throughput objective leaves the serving policy at its defaults.
+  const TunedConfig thr = generate_runtime_config(spec, model_for(spec));
+  EXPECT_EQ(thr.objective, TuneObjective::kThroughput);
 }
 
 TEST(Autotune, TunedEngineRuns) {

@@ -288,7 +288,7 @@ core::EngineConfig engine_config(gnn::ModelKind kind, bool fused,
   cfg.model.fused_epilogue = fused;
   cfg.num_partitions = 16;
   cfg.batch_size = 4;
-  cfg.streaming = streaming;
+  if (streaming) cfg.mode.epoch = core::RunMode::Epoch::kStreaming;
   return cfg;
 }
 

@@ -38,6 +38,60 @@ TEST(BoundedQueue, AbortDropsPendingItems) {
   EXPECT_FALSE(q.push(8));
 }
 
+TEST(BoundedQueue, ResetReopensAfterAbort) {
+  // Regression: a long-lived server must survive an aborted epoch. Before
+  // reset() existed, one abort left the queue returning end-of-stream
+  // forever — a single poisoned batch killed the whole server.
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  q.abort();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_FALSE(q.pop().has_value());
+
+  q.reset();
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.push(3));  // pushes work again
+  EXPECT_TRUE(q.push(4));
+  EXPECT_EQ(q.pop().value(), 3);  // and only post-reset items are visible
+  EXPECT_EQ(q.pop().value(), 4);
+
+  // reset() after a graceful close also drops undrained leftovers.
+  EXPECT_TRUE(q.push(5));
+  q.close();
+  q.reset();
+  int out = 0;
+  EXPECT_EQ(q.pop_for(1000, out), BoundedQueue<int>::PopStatus::kTimeout);
+}
+
+TEST(BoundedQueue, ResetReleasesBlockedProducers) {
+  // A producer parked in push() on a full+open queue must wake when reset()
+  // clears the backlog, not stay wedged against the old capacity.
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));  // full
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    const bool ok = q.push(2);  // blocks until reset clears the queue
+    pushed.store(ok);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  q.reset();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);  // item 1 was dropped by reset
+}
+
+TEST(BoundedQueue, PopForTimesOutOnOpenEmptyQueue) {
+  BoundedQueue<int> q(2);
+  int out = 0;
+  EXPECT_EQ(q.pop_for(1000, out), BoundedQueue<int>::PopStatus::kTimeout);
+  EXPECT_TRUE(q.push(9));
+  EXPECT_EQ(q.pop_for(1000, out), BoundedQueue<int>::PopStatus::kItem);
+  EXPECT_EQ(out, 9);
+  q.close();
+  EXPECT_EQ(q.pop_for(1000, out), BoundedQueue<int>::PopStatus::kClosed);
+}
+
 TEST(BoundedQueue, FullQueueBlocksProducerUntilConsumerPops) {
   BoundedQueue<int> q(1);
   ASSERT_TRUE(q.push(0));
@@ -211,7 +265,8 @@ TEST(StreamingEngine, BitIdenticalAcrossDepthsBackendsAndLayouts) {
     for (const bool sparse : {false, true}) {
       EngineConfig cfg = pipeline_config(gnn::ModelKind::kClusterGCN, 3);
       cfg.backend = backend;
-      cfg.sparse_adj = sparse;
+      cfg.mode.adjacency = sparse ? RunMode::Adjacency::kTileSparse
+                                  : RunMode::Adjacency::kDenseJump;
       cfg.inter_batch_threads = 2;
 
       QgtcEngine reference(ds, cfg);
@@ -221,9 +276,7 @@ TEST(StreamingEngine, BitIdenticalAcrossDepthsBackendsAndLayouts) {
 
       for (const int depth : {1, 2, 8}) {
         EngineConfig scfg = cfg;
-        scfg.streaming = true;
-        scfg.pipeline_depth = depth;
-        scfg.prepare_threads = 2;
+        scfg.mode = RunMode::streaming_pipeline(depth, 2, cfg.mode.adjacency);
         QgtcEngine streaming(ds, scfg);
         std::vector<MatrixI32> logits;
         const EngineStats s = streaming.run_quantized(1, &logits);
@@ -252,8 +305,7 @@ TEST(StreamingEngine, GinModelBitIdentical) {
   const EngineStats ref = reference.run_quantized(1, &ref_logits);
 
   EngineConfig scfg = cfg;
-  scfg.streaming = true;
-  scfg.pipeline_depth = 2;
+  scfg.mode = RunMode::streaming_pipeline(2, 1);
   QgtcEngine streaming(ds, scfg);
   std::vector<MatrixI32> logits;
   const EngineStats s = streaming.run_quantized(1, &logits);
@@ -279,8 +331,7 @@ TEST(StreamingEngine, ChargesTransferInlineAndBoundsResidency) {
   EXPECT_GT(pre.peak_prepared_bytes, 0);  // whole epoch resident
 
   EngineConfig scfg = cfg;
-  scfg.streaming = true;
-  scfg.pipeline_depth = 1;
+  scfg.mode = RunMode::streaming_pipeline(1, 1);
   QgtcEngine streaming(ds, scfg);
   const EngineStats s = streaming.run_quantized(1);
   EXPECT_TRUE(s.streaming);
@@ -312,7 +363,8 @@ TEST(TransferParity, PackedTotalsMatchFreshlyQuantizedPlanes) {
        {gnn::ModelKind::kClusterGCN, gnn::ModelKind::kBatchedGIN}) {
     for (const bool sparse : {false, true}) {
       EngineConfig cfg = pipeline_config(kind, 4);
-      cfg.sparse_adj = sparse;
+      cfg.mode.adjacency = sparse ? RunMode::Adjacency::kTileSparse
+                                  : RunMode::Adjacency::kDenseJump;
       QgtcEngine engine(ds, cfg);
       transfer::PcieModel pcie;
       transfer::StagingBuffer s1, s2;
@@ -353,7 +405,7 @@ TEST(TransferParity, StreamingAndPrecomputedAccountingIdentical) {
   EngineConfig cfg = pipeline_config(gnn::ModelKind::kClusterGCN, 4);
   QgtcEngine precomputed(ds, cfg);
   EngineConfig scfg = cfg;
-  scfg.streaming = true;
+  scfg.mode = RunMode::streaming_pipeline(2, 1);
   QgtcEngine streaming(ds, scfg);
   const EngineStats a = precomputed.transfer_accounting();
   const EngineStats b = streaming.transfer_accounting();

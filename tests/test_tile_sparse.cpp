@@ -260,7 +260,7 @@ TEST(TileSparse, EngineSparseModeMatchesDenseMode) {
   cfg.batch_size = 4;
 
   core::QgtcEngine dense_engine(ds, cfg);
-  cfg.sparse_adj = true;
+  cfg.mode.adjacency = core::RunMode::Adjacency::kTileSparse;
   core::QgtcEngine sparse_engine(ds, cfg);
 
   // Same model seed + same calibration batch (sparse calibrates through the
@@ -299,7 +299,7 @@ TEST(TileSparse, TransferAccountingShipsNonzeroFootprint) {
   cfg.batch_size = 4;
 
   core::QgtcEngine dense_engine(ds, cfg);
-  cfg.sparse_adj = true;
+  cfg.mode.adjacency = core::RunMode::Adjacency::kTileSparse;
   core::QgtcEngine sparse_engine(ds, cfg);
 
   const auto dt = dense_engine.transfer_accounting();
