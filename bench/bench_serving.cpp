@@ -184,6 +184,35 @@ int run(int argc, char** argv) {
     json.meta("batches_dispatched", static_cast<double>(st.batches_dispatched));
     json.meta("dispatches_timeout", static_cast<double>(st.dispatches_timeout));
     json.meta("packed_bytes", static_cast<double>(st.packed_bytes));
+    // Per-stage busy/stall attribution over the whole load phase: the stall
+    // columns separate queue-wait from service time per stage, which is the
+    // tail-latency debugging signal (a stalled compute stage means prepare
+    // or ship is the straggler; batcher stall is idle admission time).
+    json.meta("batcher_busy_ms", st.batcher_stage.busy_seconds * 1e3);
+    json.meta("batcher_stall_ms", st.batcher_stage.stall_seconds * 1e3);
+    json.meta("prepare_busy_ms", st.prepare_stage.busy_seconds * 1e3);
+    json.meta("prepare_stall_ms", st.prepare_stage.stall_seconds * 1e3);
+    json.meta("ship_busy_ms", st.ship_stage.busy_seconds * 1e3);
+    json.meta("ship_stall_ms", st.ship_stage.stall_seconds * 1e3);
+    json.meta("compute_busy_ms", st.compute_stage.busy_seconds * 1e3);
+    json.meta("compute_stall_ms", st.compute_stage.stall_seconds * 1e3);
+    std::cout << "Stage busy/stall ms (batcher/prepare/ship/compute): "
+              << core::TablePrinter::fmt(st.batcher_stage.busy_seconds * 1e3, 1)
+              << "/"
+              << core::TablePrinter::fmt(st.batcher_stage.stall_seconds * 1e3, 1)
+              << "  "
+              << core::TablePrinter::fmt(st.prepare_stage.busy_seconds * 1e3, 1)
+              << "/"
+              << core::TablePrinter::fmt(st.prepare_stage.stall_seconds * 1e3, 1)
+              << "  "
+              << core::TablePrinter::fmt(st.ship_stage.busy_seconds * 1e3, 1)
+              << "/"
+              << core::TablePrinter::fmt(st.ship_stage.stall_seconds * 1e3, 1)
+              << "  "
+              << core::TablePrinter::fmt(st.compute_stage.busy_seconds * 1e3, 1)
+              << "/"
+              << core::TablePrinter::fmt(st.compute_stage.stall_seconds * 1e3, 1)
+              << "\n";
   }
   load_table.print(std::cout);
 

@@ -7,6 +7,7 @@
 //            [--threads T] [--sparse-adj|--dense-adj]
 //            [--streaming] [--pipeline-depth D] [--prepare-threads P]
 //            [--serve] [--qps Q] [--requests N] [--fanout F]
+//            [--trace-out trace.json] [--metrics]
 //            [--save-dataset file.bin] [--load-dataset file.bin]
 //
 // Prints epoch latency for the quantized and fp32 paths, substrate
@@ -23,6 +24,14 @@
 // Reports p50/p99/p99.9 latency, sustained QPS and micro-batch coalescing;
 // with --autotune the serving policy comes from the latency-objective
 // profile.
+//
+// Observability (both modes): --trace-out FILE enables the always-on span
+// tracer and writes a Chrome trace-event JSON (load in chrome://tracing or
+// ui.perfetto.dev) covering prepare/ship/compute stage bodies, queue stalls,
+// batcher coalesce windows and request lifecycles; --metrics dumps the
+// counter/gauge/histogram registry (request latency, batch occupancy) on
+// exit. Streaming and serving runs also print per-stage busy/stall rows —
+// the stall attribution that says which stage to staff or deepen.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -33,6 +42,8 @@
 #include "core/serving.hpp"
 #include "core/stats.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -62,6 +73,9 @@ struct Args {
   double qps = 200.0;
   qgtc::i64 requests = 64;
   int fanout = 1;
+  // Observability surface: span trace export + metrics registry dump.
+  std::string trace_out;
+  bool metrics = false;
 };
 
 void usage() {
@@ -74,8 +88,15 @@ void usage() {
                "  [--activation identity|relu|relu6|hardswish]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
                "  [--serve] [--qps Q] [--requests N] [--fanout F]\n"
+               "  [--trace-out FILE] [--metrics]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
-               "ogbn-products\n";
+               "ogbn-products\n"
+               "--trace-out FILE  enable span tracing, write Chrome "
+               "trace-event JSON\n"
+               "                  (chrome://tracing / ui.perfetto.dev) on "
+               "exit\n"
+               "--metrics         dump the counter/histogram registry on "
+               "exit\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -105,6 +126,8 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--no-fuse-epilogue") a.fuse_epilogue = 0;
     else if (flag == "--activation") a.activation = next();
     else if (flag == "--serve") a.serve = true;
+    else if (flag == "--trace-out") a.trace_out = next();
+    else if (flag == "--metrics") a.metrics = true;
     else if (flag == "--qps") a.qps = std::atof(next());
     else if (flag == "--requests") a.requests = std::atoll(next());
     else if (flag == "--fanout") a.fanout = std::atoi(next());
@@ -131,6 +154,23 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+
+  // Tracing is enabled before any engine work so calibration and the first
+  // epoch land in the trace too; export + metrics dump run after the tables.
+  if (!args.trace_out.empty()) obs::SpanSink::instance().enable();
+  const auto flush_observability = [&args] {
+    if (!args.trace_out.empty()) {
+      obs::SpanSink::instance().write_chrome_trace(args.trace_out);
+      std::cout << "Wrote " << obs::SpanSink::instance().span_count()
+                << " spans to " << args.trace_out << "\n";
+    }
+    if (args.metrics) obs::MetricsRegistry::instance().print(std::cout);
+  };
+  // Renders a StageBreakdown as "busy/stall" milliseconds.
+  const auto stage_row = [](const obs::StageBreakdown& s) {
+    return core::TablePrinter::fmt(s.busy_seconds * 1e3, 1) + "/" +
+           core::TablePrinter::fmt(s.stall_seconds * 1e3, 1);
+  };
 
   Dataset ds;
   if (!args.load_path.empty()) {
@@ -244,7 +284,12 @@ int main(int argc, char** argv) {
                    core::TablePrinter::fmt(
                        static_cast<double>(st.packed_bytes) / 1e6, 2)});
     table.add_row({"tile MMAs", std::to_string(st.bmma_ops)});
+    table.add_row({"batcher busy/stall ms", stage_row(st.batcher_stage)});
+    table.add_row({"prepare busy/stall ms", stage_row(st.prepare_stage)});
+    table.add_row({"ship busy/stall ms", stage_row(st.ship_stage)});
+    table.add_row({"compute busy/stall ms", stage_row(st.compute_stage)});
     table.print(std::cout);
+    flush_observability();
     return 0;
   }
 
@@ -301,11 +346,15 @@ int main(int argc, char** argv) {
                    core::TablePrinter::fmt(q.packed_transfer_seconds * 1e3, 2)});
     table.add_row({"exposed transfer ms",
                    core::TablePrinter::fmt(q.exposed_transfer_seconds * 1e3, 2)});
+    table.add_row({"prepare busy/stall ms", stage_row(q.stage_breakdown.prepare)});
+    table.add_row({"ship busy/stall ms", stage_row(q.stage_breakdown.ship)});
+    table.add_row({"compute busy/stall ms", stage_row(q.stage_breakdown.compute)});
   }
   table.add_row({"peak prepared MB",
                  core::TablePrinter::fmt(static_cast<double>(q.peak_prepared_bytes) / 1e6, 2)});
   table.add_row({"peak RSS MB",
                  core::TablePrinter::fmt(static_cast<double>(vm_hwm_bytes()) / 1e6, 1)});
   table.print(std::cout);
+  flush_observability();
   return 0;
 }

@@ -32,10 +32,13 @@ QgtcEngine::QgtcEngine(const Dataset& dataset, const EngineConfig& cfg)
   // streaming mode needs the shifts before its first compute stage runs.
   if (!batches_.empty()) {
     BatchData front = prepare_batch(0, /*build_fp32_csr=*/!cfg.mode.streaming());
-    if (cfg.mode.sparse_adj()) {
-      model_.calibrate(front.adj_tiles, front.features);
-    } else {
-      model_.calibrate(front.adj, front.features);
+    {
+      QGTC_SPAN("engine", "calibrate", {{"nodes", front.batch.size()}});
+      if (cfg.mode.sparse_adj()) {
+        model_.calibrate(front.adj_tiles, front.features);
+      } else {
+        model_.calibrate(front.adj, front.features);
+      }
     }
     if (!cfg.mode.streaming()) {
       // Precomputed mode materialises the whole epoch up front (untimed
@@ -124,6 +127,7 @@ EngineStats QgtcEngine::run_quantized_precomputed(
   }
   const auto epoch = [&] {
     parallel_for_workers(0, num_batches(), workers, [&](i64 i, int w) {
+      QGTC_SPAN("compute", "batch", {{"batch", i}, {"worker", w}});
       const BatchData& bd = data_[static_cast<std::size_t>(i)];
       tcsim::ExecutionContext& ctx = ctxs[static_cast<std::size_t>(w)];
       MatrixI32 logits =
@@ -143,7 +147,10 @@ EngineStats QgtcEngine::run_quantized_precomputed(
   for (auto& ctx : ctxs) ctx.reset_counters();
 
   Timer t;
-  for (int r = 0; r < rounds; ++r) epoch();
+  for (int r = 0; r < rounds; ++r) {
+    QGTC_SPAN("engine", "epoch", {{"round", r}, {"batches", stats.batches}});
+    epoch();
+  }
   stats.forward_seconds = t.seconds() / rounds;
 
   for (const BatchData& bd : data_) {
@@ -215,6 +222,7 @@ EngineStats QgtcEngine::run_quantized_streaming(
   for (auto& ctx : ctxs) ctx.reset_counters();
 
   for (int r = 0; r < rounds; ++r) {
+    QGTC_SPAN("engine", "epoch", {{"round", r}, {"batches", stats.batches}});
     const StreamEpochStats es = epoch();
     stats.forward_seconds += es.epoch_seconds;
     stats.packed_bytes += es.packed_bytes;
@@ -225,12 +233,22 @@ EngineStats QgtcEngine::run_quantized_streaming(
         std::max(stats.peak_prepared_bytes, es.peak_prepared_bytes);
     stats.staging_capacity_bytes =
         std::max(stats.staging_capacity_bytes, es.staging_capacity_bytes);
+    stats.stage_breakdown.prepare += es.prepare_stage;
+    stats.stage_breakdown.ship += es.ship_stage;
+    stats.stage_breakdown.compute += es.compute_stage;
   }
   stats.forward_seconds /= rounds;
   stats.packed_bytes /= rounds;
   stats.adj_bytes /= rounds;
   stats.packed_transfer_seconds /= rounds;
   stats.exposed_transfer_seconds /= rounds;
+  const auto avg_stage = [&](obs::StageBreakdown& s) {
+    s.busy_seconds /= rounds;
+    s.stall_seconds /= rounds;
+  };
+  avg_stage(stats.stage_breakdown.prepare);
+  avg_stage(stats.stage_breakdown.ship);
+  avg_stage(stats.stage_breakdown.compute);
 
   for (const SubgraphBatch& b : batches_) stats.nodes += b.size();
   tcsim::Counters total;

@@ -25,6 +25,7 @@
 
 #include "gnn/model.hpp"
 #include "graph/generator.hpp"
+#include "obs/metrics.hpp"
 #include "transfer/packing.hpp"
 
 namespace qgtc::core {
@@ -129,6 +130,18 @@ struct EngineStats {
   i64 staging_capacity_bytes = 0;
   // Kernel-reported process peak RSS (VmHWM), for bench JSON output.
   i64 vm_hwm_bytes = 0;
+  // Streaming mode: per-stage busy/stall decomposition of the pipeline
+  // (summed over each stage's workers, averaged over rounds). All zeros in
+  // precomputed mode, which has no inter-stage queues to stall on. This is
+  // the signal the adaptive-depth / worker-resizing roadmap items consume:
+  // a stalling prepare stage wants more depth or fewer preparers; a
+  // stalling compute stage means prepare or ship is the straggler.
+  struct StageBreakdownSet {
+    obs::StageBreakdown prepare;
+    obs::StageBreakdown ship;
+    obs::StageBreakdown compute;
+  };
+  StageBreakdownSet stage_breakdown;
   // Execution setup the run used (for reporting / JSON bench output).
   const char* backend = "";
   int inter_batch_threads = 1;

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transfer/packing.hpp"
 
 namespace qgtc::core {
@@ -41,6 +43,13 @@ namespace qgtc::core {
 /// nullopt. abort() additionally drops pending items and fails in-flight
 /// pushes — the shutdown-on-exception path, so a throwing stage never leaves
 /// a peer blocked on a queue that will not move again.
+///
+/// Every blocking entry point reports the time it actually spent blocked
+/// through an optional `blocked_seconds` out-param (0.0 on the uncontended
+/// fast path, which skips the clock reads entirely). This is the stall half
+/// of every stage's busy-vs-stall decomposition: callers previously could
+/// not tell queue wait from service time without wrapping the queue in
+/// their own timers.
 template <typename T>
 class BoundedQueue {
  public:
@@ -49,9 +58,15 @@ class BoundedQueue {
   }
 
   /// False when the queue was closed/aborted before the item went in.
-  bool push(T&& v) {
+  /// `blocked_seconds` (optional) receives the time spent waiting for space.
+  bool push(T&& v, double* blocked_seconds = nullptr) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < cap_ || closed_; });
+    if (blocked_seconds != nullptr) *blocked_seconds = 0.0;
+    if (items_.size() >= cap_ && !closed_) {
+      const Timer t;
+      not_full_.wait(lock, [&] { return items_.size() < cap_ || closed_; });
+      if (blocked_seconds != nullptr) *blocked_seconds = t.seconds();
+    }
     if (closed_) return false;
     items_.push_back(std::move(v));
     lock.unlock();
@@ -66,11 +81,17 @@ class BoundedQueue {
   /// pop() with a deadline: waits up to `timeout_us` for an item, writing it
   /// into `out` on success. kTimeout means the queue is still open but
   /// nothing arrived in time — the serving batcher's max-wait dispatch edge.
-  PopStatus pop_for(i64 timeout_us, T& out) {
+  /// `blocked_seconds` receives the wait time (including a full timeout).
+  PopStatus pop_for(i64 timeout_us, T& out, double* blocked_seconds = nullptr) {
     std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                             [&] { return !items_.empty() || closed_; })) {
-      return PopStatus::kTimeout;
+    if (blocked_seconds != nullptr) *blocked_seconds = 0.0;
+    if (items_.empty() && !closed_) {
+      const Timer t;
+      const bool ready =
+          not_empty_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                              [&] { return !items_.empty() || closed_; });
+      if (blocked_seconds != nullptr) *blocked_seconds = t.seconds();
+      if (!ready) return PopStatus::kTimeout;
     }
     if (items_.empty()) return PopStatus::kClosed;
     out = std::move(items_.front());
@@ -81,9 +102,15 @@ class BoundedQueue {
   }
 
   /// Nullopt when the stream ended (closed and drained, or aborted).
-  std::optional<T> pop() {
+  /// `blocked_seconds` (optional) receives the time spent waiting for items.
+  std::optional<T> pop(double* blocked_seconds = nullptr) {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (blocked_seconds != nullptr) *blocked_seconds = 0.0;
+    if (items_.empty() && !closed_) {
+      const Timer t;
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (blocked_seconds != nullptr) *blocked_seconds = t.seconds();
+    }
     if (items_.empty()) return std::nullopt;
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
@@ -178,6 +205,14 @@ struct StreamEpochStats {
   // plus the staging-ring allocation high-water.
   i64 peak_prepared_bytes = 0;
   i64 staging_capacity_bytes = 0;
+  // Per-stage busy-vs-stall decomposition, summed over each stage's workers
+  // (so a stage's busy+stall can exceed epoch wall time when it has several
+  // workers). Stall is time blocked on the inter-stage queues — a stalling
+  // prepare stage means depth/workers are undersized, a stalling compute
+  // stage means prepare or ship is the bottleneck.
+  obs::StageBreakdown prepare_stage;
+  obs::StageBreakdown ship_stage;
+  obs::StageBreakdown compute_stage;
 };
 
 /// Runs one epoch through the three-stage pipeline. `ring` is the ship
@@ -233,64 +268,123 @@ StreamEpochStats run_stream_epoch(const StreamEpochConfig& cfg,
     ship_q.abort();
   };
 
+  // Per-stage busy/stall accumulation: each worker sums locally, merges once
+  // under a mutex at thread end — nothing shared on the per-batch path.
+  std::mutex stage_mu;
+  const auto merge_stage = [&](obs::StageBreakdown& into,
+                               const obs::StageBreakdown& local) {
+    std::lock_guard lock(stage_mu);
+    into += local;
+  };
+  // Emits the stall half of the decomposition as a trace span (the busy half
+  // is the stage-body span): `blocked` seconds ending now.
+  const auto stall_span = [](const char* cat, const char* name,
+                             double blocked) {
+    if (blocked > 0.0) {
+      const u64 dur = static_cast<u64>(blocked * 1e9);
+      obs::emit_span(cat, name, obs::SpanSink::now_ns() - dur, dur);
+    }
+  };
+
   Timer epoch_timer;
   std::vector<std::thread> prepare_threads;
   prepare_threads.reserve(static_cast<std::size_t>(cfg.prepare_workers));
   for (int p = 0; p < cfg.prepare_workers; ++p) {
     prepare_threads.emplace_back([&] {
+      obs::StageBreakdown local;
       try {
         for (;;) {
           const i64 i = next_batch.fetch_add(1, std::memory_order_relaxed);
-          if (i >= cfg.num_batches) return;
-          Slot s{i, prepare(i)};
-          const i64 sz = bytes(s.item);
+          if (i >= cfg.num_batches) break;
+          Timer busy;
+          i64 sz = 0;
+          Slot s{i, [&] {
+                   QGTC_SPAN("prepare", "batch", {{"batch", i}});
+                   return prepare(i);
+                 }()};
+          sz = bytes(s.item);
+          local.busy_seconds += busy.seconds();
           const i64 live = live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
           i64 peak = peak_bytes.load(std::memory_order_relaxed);
           while (live > peak &&
                  !peak_bytes.compare_exchange_weak(peak, live,
                                                    std::memory_order_relaxed)) {
           }
-          if (!prep_q.push(std::move(s))) return;  // aborted epoch
+          double blocked = 0.0;
+          const bool pushed = prep_q.push(std::move(s), &blocked);
+          local.stall_seconds += blocked;
+          stall_span("prepare", "stall.push", blocked);
+          if (!pushed) break;  // aborted epoch
         }
       } catch (...) {
         fail(std::current_exception());
       }
+      merge_stage(stats.prepare_stage, local);
     });
   }
 
   std::thread ship_thread([&] {
+    obs::StageBreakdown local;
     try {
-      while (std::optional<Slot> s = prep_q.pop()) {
-        const transfer::PackedSubgraph packed = ship(s->item, ring.next());
+      for (;;) {
+        double blocked = 0.0;
+        std::optional<Slot> s = prep_q.pop(&blocked);
+        local.stall_seconds += blocked;
+        stall_span("ship", "stall.pop", blocked);
+        if (!s.has_value()) break;
+        Timer busy;
+        const transfer::PackedSubgraph packed = [&] {
+          QGTC_SPAN("ship", "batch", {{"batch", s->index}});
+          return ship(s->item, ring.next());
+        }();
+        local.busy_seconds += busy.seconds();
         wire[static_cast<std::size_t>(s->index)] = packed.modeled_seconds;
         stats.packed_bytes += packed.total_bytes;
         stats.adj_bytes += packed.adjacency_bytes;
         stats.wire_seconds += packed.modeled_seconds;
         stats.staging_seconds += packed.staging_seconds;
-        if (!ship_q.push(std::move(*s))) break;  // aborted epoch
+        blocked = 0.0;
+        const bool pushed = ship_q.push(std::move(*s), &blocked);
+        local.stall_seconds += blocked;
+        stall_span("ship", "stall.push", blocked);
+        if (!pushed) break;  // aborted epoch
       }
       stats.staging_capacity_bytes = ring.capacity_bytes();
       ship_q.close();
     } catch (...) {
       fail(std::current_exception());
     }
+    merge_stage(stats.ship_stage, local);
   });
 
   std::vector<std::thread> compute_threads;
   compute_threads.reserve(static_cast<std::size_t>(cfg.compute_workers));
   for (int w = 0; w < cfg.compute_workers; ++w) {
     compute_threads.emplace_back([&, w] {
+      obs::StageBreakdown local;
       try {
-        while (std::optional<Slot> s = ship_q.pop()) {
+        for (;;) {
+          double blocked = 0.0;
+          std::optional<Slot> s = ship_q.pop(&blocked);
+          local.stall_seconds += blocked;
+          stall_span("compute", "stall.pop", blocked);
+          if (!s.has_value()) break;
           Timer t;
-          compute(s->item, s->index, w);
-          comp[static_cast<std::size_t>(s->index)] = t.seconds();
+          {
+            QGTC_SPAN("compute", "batch",
+                      {{"batch", s->index}, {"worker", w}});
+            compute(s->item, s->index, w);
+          }
+          const double busy = t.seconds();
+          comp[static_cast<std::size_t>(s->index)] = busy;
+          local.busy_seconds += busy;
           live_bytes.fetch_sub(bytes(s->item), std::memory_order_relaxed);
           // `s` (and the prepared batch) dies here — O(depth) residency.
         }
       } catch (...) {
         fail(std::current_exception());
       }
+      merge_stage(stats.compute_stage, local);
     });
   }
 

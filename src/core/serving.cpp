@@ -8,7 +8,8 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
-#include "core/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qgtc::core {
 
@@ -17,6 +18,25 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Emits the stall half of a stage's busy/stall split as a trace span (the
+/// interval `blocked` seconds long, ending now).
+void stall_span(const char* cat, const char* name, double blocked) {
+  if (blocked > 0.0) {
+    const u64 dur = static_cast<u64>(blocked * 1e9);
+    obs::emit_span(cat, name, obs::SpanSink::now_ns() - dur, dur);
+  }
+}
+
+/// Folds one busy/stall increment into a stage breakdown under the stats
+/// mutex. Called once per micro-batch / queue operation, never per span.
+void note_stage(std::mutex& mu, obs::StageBreakdown& stage, double busy,
+                double stall) {
+  if (busy <= 0.0 && stall <= 0.0) return;
+  std::lock_guard lock(mu);
+  stage.busy_seconds += busy;
+  stage.stall_seconds += stall;
 }
 }  // namespace
 
@@ -27,6 +47,7 @@ struct ServingEngine::Pending {
   std::vector<i32> nodes;
   std::promise<ServingResult> promise;
   Clock::time_point submitted{};
+  u64 submit_ns = 0;         // trace-clock submit stamp (request span start)
   double queue_seconds = 0;  // stamped at dispatch
 };
 
@@ -85,6 +106,7 @@ ServingEngine::~ServingEngine() { stop(); }
 std::future<ServingResult> ServingEngine::submit(ServingRequest req) {
   Pending p;
   p.submitted = Clock::now();
+  p.submit_ns = obs::SpanSink::now_ns();
   std::future<ServingResult> fut = p.promise.get_future();
   {
     std::lock_guard lock(lifecycle_mu_);
@@ -171,7 +193,18 @@ void ServingEngine::dispatch(MicroBatch&& batch, bool timed_out) {
     stats_.batch_nodes_total += batch.batch.size();
     ++(timed_out ? stats_.dispatches_timeout : stats_.dispatches_full);
   }
-  if (!prep_q_->push(std::move(batch))) {
+  // Batch-occupancy distributions (the coalescing dial's feedback signal).
+  static obs::Histogram& batch_req_hist =
+      obs::MetricsRegistry::instance().histogram("serving.batch_requests");
+  static obs::Histogram& batch_nodes_hist =
+      obs::MetricsRegistry::instance().histogram("serving.batch_nodes");
+  batch_req_hist.record(static_cast<double>(batch.members.size()));
+  batch_nodes_hist.record(static_cast<double>(batch.batch.size()));
+  double push_blocked = 0.0;
+  const bool pushed = prep_q_->push(std::move(batch), &push_blocked);
+  stall_span("batcher", "stall.push", push_blocked);
+  note_stage(stats_mu_, stats_.batcher_stage, 0.0, push_blocked);
+  if (!pushed) {
     fail_batch(batch, std::make_exception_ptr(std::runtime_error(
                           "ServingEngine pipeline shut down mid-dispatch")));
   }
@@ -183,6 +216,18 @@ void ServingEngine::batcher_loop() {
   Clock::time_point oldest{};
   const auto flush = [&](bool timed_out) {
     if (cur.members.empty()) return;
+    // The coalesce window: first member's submit stamp to dispatch. This is
+    // the batcher's "busy" time — an open micro-batch accumulating members —
+    // and the span the latency dial (max_wait_us) is tuned against.
+    const u64 open_ns = cur.members.front().submit_ns;
+    const u64 now_ns = obs::SpanSink::now_ns();
+    const u64 window_ns = now_ns > open_ns ? now_ns - open_ns : 0;
+    obs::emit_span("batcher", "coalesce", now_ns - window_ns, window_ns,
+                   {{"nodes", cur_nodes},
+                    {"requests", static_cast<i64>(cur.members.size())},
+                    {"timed_out", timed_out ? 1 : 0}});
+    note_stage(stats_mu_, stats_.batcher_stage,
+               static_cast<double>(window_ns) * 1e-9, 0.0);
     dispatch(std::move(cur), timed_out);
     cur = MicroBatch{};
     cur_nodes = 0;
@@ -191,8 +236,12 @@ void ServingEngine::batcher_loop() {
   for (;;) {
     Pending p;
     if (cur.members.empty()) {
-      // Nothing pending: block until a request (or shutdown) arrives.
-      std::optional<Pending> item = admission_->pop();
+      // Nothing pending: block until a request (or shutdown) arrives. The
+      // blocked time is the batcher's idle stall — no open batch, no work.
+      double blocked = 0.0;
+      std::optional<Pending> item = admission_->pop(&blocked);
+      stall_span("batcher", "stall.pop", blocked);
+      note_stage(stats_mu_, stats_.batcher_stage, 0.0, blocked);
       if (!item.has_value()) break;
       p = std::move(*item);
     } else {
@@ -233,16 +282,31 @@ void ServingEngine::batcher_loop() {
 }
 
 void ServingEngine::prepare_loop() {
-  while (std::optional<MicroBatch> mb = prep_q_->pop()) {
+  for (;;) {
+    double blocked = 0.0;
+    std::optional<MicroBatch> mb = prep_q_->pop(&blocked);
+    stall_span("prepare", "stall.pop", blocked);
+    note_stage(stats_mu_, stats_.prepare_stage, 0.0, blocked);
+    if (!mb.has_value()) break;
+    Timer body;
     try {
       // The offline prepare path, verbatim: prepare_batch_data +
       // QgtcModel::prepare_input over the dynamic micro-batch.
+      obs::SpanScope span("prepare", "microbatch",
+                          {{"nodes", mb->batch.size()},
+                           {"requests", static_cast<i64>(mb->members.size())}});
       mb->bd = engine_->prepare_subgraph(mb->batch);
     } catch (...) {
+      note_stage(stats_mu_, stats_.prepare_stage, body.seconds(), 0.0);
       fail_batch(*mb, std::current_exception());
       continue;
     }
-    if (!ship_q_->push(std::move(*mb))) {
+    note_stage(stats_mu_, stats_.prepare_stage, body.seconds(), 0.0);
+    double push_blocked = 0.0;
+    const bool pushed = ship_q_->push(std::move(*mb), &push_blocked);
+    stall_span("prepare", "stall.push", push_blocked);
+    note_stage(stats_mu_, stats_.prepare_stage, 0.0, push_blocked);
+    if (!pushed) {
       fail_batch(*mb, std::make_exception_ptr(std::runtime_error(
                           "ServingEngine pipeline shut down mid-prepare")));
     }
@@ -251,18 +315,34 @@ void ServingEngine::prepare_loop() {
 
 void ServingEngine::ship_loop() {
   const bool sparse = engine_->config().mode.sparse_adj();
-  while (std::optional<MicroBatch> mb = ship_q_->pop()) {
+  for (;;) {
+    double blocked = 0.0;
+    std::optional<MicroBatch> mb = ship_q_->pop(&blocked);
+    stall_span("ship", "stall.pop", blocked);
+    note_stage(stats_mu_, stats_.ship_stage, 0.0, blocked);
+    if (!mb.has_value()) break;
+    Timer body;
     try {
+      obs::SpanScope span("ship", "microbatch",
+                          {{"nodes", mb->batch.size()},
+                           {"requests", static_cast<i64>(mb->members.size())}});
       const transfer::PackedSubgraph packed =
           pack_prepared_batch(mb->bd, sparse, ring_.next(), pcie_);
+      span.arg("bytes", packed.total_bytes);
       std::lock_guard lock(stats_mu_);
       stats_.packed_bytes += packed.total_bytes;
       stats_.wire_seconds += packed.modeled_seconds;
+      stats_.ship_stage.busy_seconds += body.seconds();
     } catch (...) {
+      note_stage(stats_mu_, stats_.ship_stage, body.seconds(), 0.0);
       fail_batch(*mb, std::current_exception());
       continue;
     }
-    if (!compute_q_->push(std::move(*mb))) {
+    double push_blocked = 0.0;
+    const bool pushed = compute_q_->push(std::move(*mb), &push_blocked);
+    stall_span("ship", "stall.push", push_blocked);
+    note_stage(stats_mu_, stats_.ship_stage, 0.0, push_blocked);
+    if (!pushed) {
       fail_batch(*mb, std::make_exception_ptr(std::runtime_error(
                           "ServingEngine pipeline shut down mid-ship")));
     }
@@ -272,18 +352,37 @@ void ServingEngine::ship_loop() {
 void ServingEngine::compute_loop(std::size_t worker) {
   const bool sparse = engine_->config().mode.sparse_adj();
   const api::Session& session = sessions_[worker];
-  while (std::optional<MicroBatch> mb = compute_q_->pop()) {
+  // Client-visible latency distribution, recorded at completion — the
+  // `--metrics` dump and the load generator's percentile source.
+  obs::Histogram& latency_ms =
+      obs::MetricsRegistry::instance().histogram("serving.request_latency_ms");
+  for (;;) {
+    double blocked = 0.0;
+    std::optional<MicroBatch> mb = compute_q_->pop(&blocked);
+    stall_span("compute", "stall.pop", blocked);
+    note_stage(stats_mu_, stats_.compute_stage, 0.0, blocked);
+    if (!mb.has_value()) break;
+    Timer body;
     try {
       const QgtcEngine::BatchData& bd = mb->bd;
-      const MatrixI32 logits =
-          sparse ? engine_->model().forward_prepared(bd.adj_tiles, bd.x_planes,
-                                                     /*stats=*/nullptr,
-                                                     &session.context())
-                 : engine_->model().forward_prepared(bd.adj, &bd.tile_map,
-                                                     bd.x_planes,
-                                                     /*stats=*/nullptr,
-                                                     &session.context());
+      MatrixI32 logits;
+      {
+        QGTC_SPAN("compute", "microbatch",
+                  {{"nodes", mb->batch.size()},
+                   {"requests", static_cast<i64>(mb->members.size())},
+                   {"worker", static_cast<i64>(worker)}});
+        logits =
+            sparse ? engine_->model().forward_prepared(bd.adj_tiles,
+                                                       bd.x_planes,
+                                                       /*stats=*/nullptr,
+                                                       &session.context())
+                   : engine_->model().forward_prepared(bd.adj, &bd.tile_map,
+                                                       bd.x_planes,
+                                                       /*stats=*/nullptr,
+                                                       &session.context());
+      }
       const Clock::time_point done = Clock::now();
+      const u64 done_ns = obs::SpanSink::now_ns();
       for (std::size_t m = 0; m < mb->members.size(); ++m) {
         Pending& p = mb->members[m];
         const i64 r0 = mb->batch.part_bounds[m];
@@ -300,11 +399,21 @@ void ServingEngine::compute_loop(std::size_t worker) {
         res.timing.queue_seconds = p.queue_seconds;
         res.timing.total_seconds =
             std::chrono::duration<double>(done - p.submitted).count();
+        // The request's whole lifecycle — admission through completion — as
+        // one span: the client-latency bar the stage spans decompose.
+        obs::emit_span("request", "lifecycle", p.submit_ns,
+                       done_ns > p.submit_ns ? done_ns - p.submit_ns : 0,
+                       {{"queue_us", static_cast<i64>(p.queue_seconds * 1e6)},
+                        {"batch_nodes", res.batch_nodes},
+                        {"batch_requests", res.batch_requests}});
+        latency_ms.record(res.timing.total_seconds * 1e3);
         p.promise.set_value(std::move(res));
       }
       std::lock_guard lock(stats_mu_);
       stats_.requests_completed += static_cast<i64>(mb->members.size());
+      stats_.compute_stage.busy_seconds += body.seconds();
     } catch (...) {
+      note_stage(stats_mu_, stats_.compute_stage, body.seconds(), 0.0);
       fail_batch(*mb, std::current_exception());
     }
   }
@@ -350,13 +459,15 @@ LoadReport run_poisson_load(ServingEngine& serving, const LoadSpec& spec) {
 
   LoadReport rep;
   rep.offered_qps = spec.target_qps;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(futures.size());
+  // Latencies reduce through the fixed-bucket histogram (≤ ~1.6% relative
+  // quantile error, see obs/metrics.hpp) instead of core::percentile's
+  // sort-a-copy — constant memory regardless of num_requests.
+  obs::Histogram latencies_ms;
   double batch_requests_sum = 0;
   for (std::future<ServingResult>& f : futures) {
     try {
       const ServingResult res = f.get();
-      latencies_ms.push_back(res.timing.total_seconds * 1e3);
+      latencies_ms.record(res.timing.total_seconds * 1e3);
       batch_requests_sum += static_cast<double>(res.batch_requests);
       ++rep.completed;
     } catch (...) {
@@ -366,9 +477,9 @@ LoadReport run_poisson_load(ServingEngine& serving, const LoadSpec& spec) {
   rep.wall_seconds = wall.seconds();
   rep.sustained_qps =
       rep.wall_seconds > 0 ? static_cast<double>(rep.completed) / rep.wall_seconds : 0;
-  rep.p50_ms = percentile(latencies_ms, 50.0);
-  rep.p99_ms = percentile(latencies_ms, 99.0);
-  rep.p999_ms = percentile(latencies_ms, 99.9);
+  rep.p50_ms = latencies_ms.percentile(50.0);
+  rep.p99_ms = latencies_ms.percentile(99.0);
+  rep.p999_ms = latencies_ms.percentile(99.9);
   rep.mean_batch_requests =
       rep.completed > 0 ? batch_requests_sum / static_cast<double>(rep.completed) : 0;
   return rep;

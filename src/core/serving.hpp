@@ -105,6 +105,17 @@ struct ServingStats {
   /// Substrate counters summed over the compute workers' sessions.
   i64 bmma_ops = 0;
   i64 tiles_jumped = 0;
+  /// Per-stage busy-vs-stall decomposition, summed over each stage's workers
+  /// since server start. `batcher.busy` is time spent with an open micro-
+  /// batch (the coalesce window); `batcher.stall` is idle time waiting for
+  /// the first request of a batch plus downstream backpressure on dispatch
+  /// (the prepare queue refusing the push). For prepare/ship/compute, busy is the
+  /// stage body and stall is time blocked on inter-stage queues — exactly
+  /// the queue-wait vs service-time split the latency tail debugging needs.
+  obs::StageBreakdown batcher_stage;
+  obs::StageBreakdown prepare_stage;
+  obs::StageBreakdown ship_stage;
+  obs::StageBreakdown compute_stage;
 };
 
 /// Long-lived serving engine. Construction builds and calibrates the

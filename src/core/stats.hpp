@@ -29,8 +29,12 @@ class TablePrinter {
 };
 
 /// The p-th percentile (p in [0, 100]) of `xs` by linear interpolation
-/// between closest ranks — the serving bench's p50/p99/p999 reduction.
-/// Takes its argument by value (sorts a copy). Returns 0 for an empty input.
+/// between closest ranks.
+/// Takes its argument by value (sorts a copy) — O(n log n) per call and O(n)
+/// retained samples, so it is the *exact* reference reduction only. Hot
+/// paths (serving latencies, load reports) use obs::Histogram instead:
+/// constant memory, lock-free record, ≤ ~1.6% relative quantile error. The
+/// histogram unit test pins the two against each other.
 double percentile(std::vector<double> xs, double p);
 
 }  // namespace qgtc::core

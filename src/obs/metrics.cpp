@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace qgtc::obs {
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;  // <=0 / NaN: lowest bucket
+  int exp = 0;
+  // frexp: v = frac * 2^exp with frac in [0.5, 1) -> value lies in octave
+  // [2^(exp-1), 2^exp); sub-bucket from the fraction's position in [0.5, 1).
+  const double frac = std::frexp(v, &exp);
+  const int octave = exp - 1 - kMinExp;
+  if (octave < 0) return 0;
+  if (octave >= kMaxExp - kMinExp) return kBuckets - 1;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return octave * kSubBuckets + sub;
+}
+
+double Histogram::bucket_mid(int b) {
+  const int octave = b / kSubBuckets;
+  const int sub = b % kSubBuckets;
+  // Sub-buckets are *linear* in the mantissa: bucket b spans mantissas
+  // [0.5 + sub/(2S), 0.5 + (sub+1)/(2S)). The geometric midpoint minimises
+  // the worst-case relative error, which peaks at the octave bottom:
+  // sqrt(1 + 1/S) - 1.
+  const double lo_frac =
+      0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets);
+  const double hi_frac =
+      0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets);
+  return std::ldexp(std::sqrt(lo_frac * hi_frac), kMinExp + octave + 1);
+}
+
+double Histogram::quantile(double q) const {
+  QGTC_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  const i64 n = count();
+  if (n == 0) return 0.0;
+  // Same rank convention as core::percentile's closest-rank floor, so the
+  // two reductions are comparable in the error-bound test.
+  const i64 rank = static_cast<i64>(q * static_cast<double>(n - 1));
+  i64 seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) return bucket_mid(b);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked on exit
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+}  // namespace
+
+void MetricsRegistry::print(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "-- metrics --\n";
+  for (const auto& [name, c] : counters_) {
+    os << "  counter   " << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  gauge     " << name << " = " << fmt(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "  histogram " << name << " count=" << h->count();
+    if (h->count() > 0) {
+      os << " mean=" << fmt(h->mean()) << " p50=" << fmt(h->quantile(0.5))
+         << " p99=" << fmt(h->quantile(0.99))
+         << " p999=" << fmt(h->quantile(0.999));
+    }
+    os << "\n";
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  const auto key = [](const std::string& s) { return "\"" + s + "\""; };
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ", ") << key(name) << ": " << c->value();
+    first = false;
+  }
+  os << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ", ") << key(name) << ": " << fmt(g->value());
+    first = false;
+  }
+  os << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ", ") << key(name) << ": {\"count\": " << h->count()
+       << ", \"mean\": " << fmt(h->mean())
+       << ", \"p50\": " << fmt(h->quantile(0.5))
+       << ", \"p99\": " << fmt(h->quantile(0.99))
+       << ", \"p999\": " << fmt(h->quantile(0.999)) << "}";
+    first = false;
+  }
+  os << "}\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace qgtc::obs

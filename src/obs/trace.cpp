@@ -1,0 +1,172 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace qgtc::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  // One fixed epoch per process so every thread's timestamps share a base.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first span doesn't pay for it
+// (and timestamps stay small relative to process start).
+const std::chrono::steady_clock::time_point kEpochInit = trace_epoch();
+
+}  // namespace
+
+SpanSink& SpanSink::instance() {
+  static SpanSink* sink = new SpanSink();  // leaked: outlives exiting threads
+  return *sink;
+}
+
+u64 SpanSink::now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - trace_epoch())
+                              .count());
+}
+
+SpanSink::ThreadBuffer& SpanSink::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf;
+  if (!buf) {
+    buf = std::make_shared<ThreadBuffer>();
+    buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(registry_mu_);
+    buffers_.push_back(buf);
+  }
+  return *buf;
+}
+
+void SpanSink::record(const Span& span) {
+  ThreadBuffer& buf = local_buffer();
+  Chunk* chunk = buf.current;
+  if (chunk == nullptr ||
+      chunk->used.load(std::memory_order_relaxed) >= kChunkSpans) {
+    // Cold path, ~once per kChunkSpans spans: append a chunk under the
+    // per-thread mutex (the only thing an exporter contends on).
+    auto fresh = std::make_unique<Chunk>();
+    chunk = fresh.get();
+    std::lock_guard lock(buf.chunks_mu);
+    buf.chunks.push_back(std::move(fresh));
+    buf.current = chunk;
+  }
+  // Hot path: only the owner thread writes `used`, so a relaxed read of our
+  // own last store is exact, and the release store commits the span for
+  // concurrent exporters.
+  const u32 slot = chunk->used.load(std::memory_order_relaxed);
+  chunk->spans[slot] = span;
+  chunk->spans[slot].tid = buf.tid;
+  chunk->used.store(slot + 1, std::memory_order_release);
+}
+
+std::vector<Span> SpanSink::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+  {
+    std::lock_guard lock(registry_mu_);
+    bufs = buffers_;
+  }
+  std::vector<Span> out;
+  for (const auto& buf : bufs) {
+    std::lock_guard lock(buf->chunks_mu);
+    for (const auto& chunk : buf->chunks) {
+      const u32 used = chunk->used.load(std::memory_order_acquire);
+      out.insert(out.end(), chunk->spans, chunk->spans + used);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+i64 SpanSink::span_count() const {
+  std::lock_guard lock(registry_mu_);
+  i64 n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard chunk_lock(buf->chunks_mu);
+    for (const auto& chunk : buf->chunks) {
+      n += chunk->used.load(std::memory_order_acquire);
+    }
+  }
+  return n;
+}
+
+void SpanSink::clear() {
+  std::lock_guard lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard chunk_lock(buf->chunks_mu);
+    buf->chunks.clear();
+    buf->current = nullptr;  // quiescent emitters: safe to reset owner cache
+  }
+}
+
+namespace {
+
+/// Microseconds with nanosecond precision — Chrome trace "ts"/"dur" units.
+std::string us_str(u64 ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+  return os.str();
+}
+
+}  // namespace
+
+void SpanSink::export_chrome_trace(std::ostream& os) const {
+  const std::vector<Span> spans = snapshot();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    os << "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.tid << ", \"cat\": \""
+       << s.category << "\", \"name\": \"" << s.name
+       << "\", \"ts\": " << us_str(s.start_ns)
+       << ", \"dur\": " << us_str(s.dur_ns);
+    if (s.nargs > 0) {
+      os << ", \"args\": {";
+      for (u32 a = 0; a < s.nargs; ++a) {
+        os << (a ? ", " : "") << '"' << s.args[a].key
+           << "\": " << s.args[a].value;
+      }
+      os << '}';
+    }
+    os << '}' << (i + 1 < spans.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+}
+
+bool SpanSink::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "SpanSink: cannot write " << path << "\n";
+    return false;
+  }
+  export_chrome_trace(out);
+  return out.good();
+}
+
+void emit_span(const char* category, const char* name, u64 start_ns,
+               u64 dur_ns, std::initializer_list<SpanArg> args) {
+  SpanSink& sink = SpanSink::instance();
+  if (!sink.enabled()) return;
+  Span s;
+  s.category = category;
+  s.name = name;
+  s.start_ns = start_ns;
+  s.dur_ns = dur_ns;
+  for (const SpanArg& a : args) {
+    if (s.nargs < static_cast<u32>(kMaxSpanArgs)) s.args[s.nargs++] = a;
+  }
+  sink.record(s);
+}
+
+}  // namespace qgtc::obs

@@ -1,0 +1,176 @@
+// Always-on span tracing (the CUPTI/Nsight-range substitute — see the
+// DESIGN.md substitution table): every pipeline stage body, queue wait,
+// request lifecycle and transfer pack emits a `Span` into a per-thread
+// buffer, exportable as Chrome trace-event / Perfetto-compatible JSON
+// (chrome://tracing, ui.perfetto.dev).
+//
+// Cost model:
+//
+// * **Disabled** (default): one relaxed atomic load + branch per QGTC_SPAN —
+//   tracing compiled in everywhere is a branch, not a tax. Bit-identity of
+//   logits and substrate counters is guaranteed by construction (the tracer
+//   never touches compute state) and pinned by tests/test_obs.cpp.
+// * **Enabled**: the emitting thread appends to its own chunked buffer. The
+//   hot path takes no lock: spans are committed by a release store of the
+//   chunk's `used` count (readers acquire-load it), and the only mutex is
+//   per-thread and touched once per 1024 spans (chunk append) or when an
+//   exporter walks the chunk list concurrently.
+//
+// Span names/categories/arg keys must be string literals (or otherwise
+// outlive the sink) — the Span record stores the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc::obs {
+
+/// One typed span argument (e.g. {"batch", i} or {"bytes", n}).
+struct SpanArg {
+  const char* key;
+  i64 value;
+};
+
+inline constexpr int kMaxSpanArgs = 3;
+
+/// One completed span. POD: copied by value into the per-thread buffer.
+struct Span {
+  const char* category = "";  // trace-event "cat": prepare/ship/compute/...
+  const char* name = "";      // trace-event "name"
+  u64 start_ns = 0;           // since process trace epoch (steady clock)
+  u64 dur_ns = 0;
+  u32 tid = 0;  // sink-assigned emitting-thread id (stable per thread)
+  u32 nargs = 0;
+  SpanArg args[kMaxSpanArgs] = {};
+};
+
+/// Process-wide span collector. All methods are thread-safe except clear(),
+/// which requires emitting threads to be quiescent (stopped pipelines) —
+/// the exporter (snapshot / export_chrome_trace) may run concurrently with
+/// emitters and sees every span committed before it started.
+class SpanSink {
+ public:
+  static SpanSink& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the process trace epoch (steady clock) — the
+  /// timestamp base every span uses.
+  static u64 now_ns();
+
+  /// Appends one completed span to the calling thread's buffer. Callers
+  /// normally go through SpanScope / QGTC_SPAN or emit_span() instead.
+  void record(const Span& span);
+
+  /// Copies out every committed span (all threads), sorted by start_ns.
+  [[nodiscard]] std::vector<Span> snapshot() const;
+
+  /// Total committed spans across all threads.
+  [[nodiscard]] i64 span_count() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of "ph":"X" complete
+  /// events, ts/dur in microseconds, sorted by ts) — loads in
+  /// chrome://tracing and Perfetto.
+  void export_chrome_trace(std::ostream& os) const;
+
+  /// export_chrome_trace() to a file; false (with a stderr note) on I/O
+  /// failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Drops every recorded span (buffers keep their allocation). Emitting
+  /// threads must be quiescent — call between runs, not during one.
+  void clear();
+
+ private:
+  SpanSink() = default;
+
+  static constexpr std::size_t kChunkSpans = 1024;
+  struct Chunk {
+    /// Committed span count: the owner thread release-stores it after
+    /// writing spans[used]; readers acquire-load and read only [0, used).
+    std::atomic<u32> used{0};
+    Span spans[kChunkSpans];
+  };
+  struct ThreadBuffer {
+    u32 tid = 0;
+    /// Owner-thread cache of chunks.back() so the hot path never takes
+    /// chunks_mu; reset by clear() (which requires emitter quiescence).
+    Chunk* current = nullptr;
+    /// Guards the chunk *list* (owner appends a chunk ~once per kChunkSpans
+    /// spans; readers walk it) — never the span writes themselves.
+    mutable std::mutex chunks_mu;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<u32> next_tid_{1};
+  mutable std::mutex registry_mu_;
+  /// shared_ptr: buffers outlive their (possibly exited) emitting thread.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Emits an already-timed span (start/duration measured by the caller — the
+/// queue-stall and request-lifecycle paths, where the interval is known only
+/// after the fact). No-op while tracing is disabled.
+void emit_span(const char* category, const char* name, u64 start_ns,
+               u64 dur_ns, std::initializer_list<SpanArg> args = {});
+
+/// RAII span: records [construction, destruction) under (category, name)
+/// when tracing is enabled. Extra args can be attached mid-scope via arg()
+/// (e.g. result sizes known only after the work ran).
+class SpanScope {
+ public:
+  SpanScope(const char* category, const char* name,
+            std::initializer_list<SpanArg> args = {}) {
+    if (!SpanSink::instance().enabled()) return;
+    active_ = true;
+    span_.category = category;
+    span_.name = name;
+    for (const SpanArg& a : args) {
+      if (span_.nargs < kMaxSpanArgs) span_.args[span_.nargs++] = a;
+    }
+    span_.start_ns = SpanSink::now_ns();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attaches one more typed arg (ignored past kMaxSpanArgs, or disabled).
+  void arg(const char* key, i64 value) {
+    if (active_ && span_.nargs < kMaxSpanArgs) {
+      span_.args[span_.nargs++] = SpanArg{key, value};
+    }
+  }
+
+  ~SpanScope() {
+    if (!active_) return;
+    span_.dur_ns = SpanSink::now_ns() - span_.start_ns;
+    SpanSink::instance().record(span_);
+  }
+
+ private:
+  bool active_ = false;
+  Span span_;
+};
+
+#define QGTC_SPAN_CONCAT2(a, b) a##b
+#define QGTC_SPAN_CONCAT(a, b) QGTC_SPAN_CONCAT2(a, b)
+/// QGTC_SPAN("category", "name"[, {{"key", i64}, ...}]): RAII span over the
+/// enclosing scope. Disabled tracing costs one relaxed load + branch.
+#define QGTC_SPAN(...) \
+  ::qgtc::obs::SpanScope QGTC_SPAN_CONCAT(qgtc_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace qgtc::obs

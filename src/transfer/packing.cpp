@@ -1,6 +1,7 @@
 #include "transfer/packing.hpp"
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace qgtc::transfer {
 
@@ -20,6 +21,12 @@ PackedSubgraph pack_batch_impl(i64 adj_bytes, const StackedBitTensor& embeddings
   out.total_bytes = out.adjacency_bytes + out.embedding_bytes;
   out.transfers = 1;
 
+  // The transfer-layer span: measured staging memcpy as the duration, the
+  // modelled PCIe wire time attached as a typed arg (wire time is modelled,
+  // not wall time, so it must not occupy trace real estate).
+  obs::SpanScope span("transfer", "pack",
+                      {{"bytes", out.total_bytes},
+                       {"adj_bytes", out.adjacency_bytes}});
   Timer t;
   staging.clear();
   staging.reserve(out.total_bytes);
@@ -29,6 +36,7 @@ PackedSubgraph pack_batch_impl(i64 adj_bytes, const StackedBitTensor& embeddings
   }
   out.staging_seconds = t.seconds();
   out.modeled_seconds = pcie.transfer_seconds(out.total_bytes);
+  span.arg("wire_ns", static_cast<i64>(out.modeled_seconds * 1e9));
   return out;
 }
 
