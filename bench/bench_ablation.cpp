@@ -53,10 +53,10 @@ int main() {
     mcfg.fused_epilogue = v.fused;
     mcfg.reuse = v.reuse;
     gnn::QgtcModel model = gnn::QgtcModel::create(mcfg, ecfg.seed);
-    model.calibrate(data.front().adj, data.front().features);
+    model.calibrate(data.front()->adj, data.front()->features);
     std::vector<StackedBitTensor> inputs;
     inputs.reserve(data.size());
-    for (const auto& bd : data) inputs.push_back(model.prepare_input(bd.features));
+    for (const auto& bd : data) inputs.push_back(model.prepare_input(bd->features));
     const double s = bench::time_epoch(data, max_batches, [&](const auto& bd, i64 i) {
       (void)model.forward_prepared(bd.adj, v.jump ? &bd.tile_map : nullptr,
                                    inputs[static_cast<std::size_t>(i)]);

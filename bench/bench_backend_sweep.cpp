@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     // Reference logits + counters from the scalar single-thread run.
     engine.set_execution(BackendKind::kScalar, 1);
     const core::EngineStats base = engine.run_quantized(rounds);
-    const auto& bd0 = engine.batch_data().front();
+    const auto& bd0 = *engine.batch_data().front();
     const tcsim::ExecutionContext scalar_ctx(BackendKind::kScalar);
     const MatrixI32 ref_logits = engine.model().forward_prepared(
         bd0.adj, &bd0.tile_map, bd0.x_planes, nullptr, &scalar_ctx);

@@ -26,20 +26,20 @@ inline const std::vector<std::pair<std::string, int>>& fig7_bit_grid() {
 /// Times one inference epoch (seconds), optionally capping timed batches and
 /// extrapolating to the full epoch.
 template <typename Fn>
-double time_epoch(const std::vector<core::QgtcEngine::BatchData>& data,
+double time_epoch(const std::vector<core::QgtcEngine::BatchRef>& data,
                   i64 max_batches, Fn&& per_batch) {
   const i64 usable =
       max_batches > 0 ? std::min<i64>(max_batches, static_cast<i64>(data.size()))
                       : static_cast<i64>(data.size());
   // Warm-up pass over the timed subset.
-  for (i64 i = 0; i < usable; ++i) per_batch(data[static_cast<std::size_t>(i)], i);
+  for (i64 i = 0; i < usable; ++i) per_batch(*data[static_cast<std::size_t>(i)], i);
   // Min over repetitions: robust against scheduler/frequency noise on
   // shared hosts (matches the paper's best-of-averaged-rounds spirit).
   double best = 1e300;
   Timer total;
   do {
     Timer t;
-    for (i64 i = 0; i < usable; ++i) per_batch(data[static_cast<std::size_t>(i)], i);
+    for (i64 i = 0; i < usable; ++i) per_batch(*data[static_cast<std::size_t>(i)], i);
     best = std::min(best, t.seconds());
   } while (total.seconds() < 0.6);
   return best * static_cast<double>(data.size()) / static_cast<double>(usable);
@@ -97,7 +97,7 @@ inline void run_fig7(gnn::ModelKind kind, i64 hidden_dim) {
       mcfg.feat_bits = bits;
       mcfg.weight_bits = bits;
       gnn::QgtcModel model = gnn::QgtcModel::create(mcfg, ecfg.seed);
-      model.calibrate(data.front().adj, data.front().features);
+      model.calibrate(data.front()->adj, data.front()->features);
       // Host-side packing happens before transfer (§4.6) and is untimed,
       // like the paper's excluded preprocessing. Only the timed subset needs
       // packing.
@@ -107,7 +107,7 @@ inline void run_fig7(gnn::ModelKind kind, i64 hidden_dim) {
       std::vector<StackedBitTensor> inputs;
       inputs.reserve(static_cast<std::size_t>(n_pack));
       for (i64 i = 0; i < n_pack; ++i) {
-        inputs.push_back(model.prepare_input(data[static_cast<std::size_t>(i)].features));
+        inputs.push_back(model.prepare_input(data[static_cast<std::size_t>(i)]->features));
       }
       const double q_s = time_epoch(data, max_batches, [&](const auto& bd, i64 i) {
         (void)model.forward_prepared(bd.adj, &bd.tile_map,

@@ -32,7 +32,8 @@ int main() {
     const core::QgtcEngine engine(ds, ecfg);
 
     i64 total = 0, nonzero = 0;
-    for (const auto& bd : engine.batch_data()) {
+    for (const auto& bdp : engine.batch_data()) {
+      const auto& bd = *bdp;
       const TileMap map = build_tile_map(bd.adj);
       total += map.total_tiles();
       nonzero += map.nonzero_tiles();

@@ -58,7 +58,7 @@ bool parity_gate(const Dataset& ds, tcsim::BackendKind backend, bool sparse,
   std::vector<std::pair<i64, i64>> origin;
   for (i64 b = 0; b < offline.num_batches(); ++b) {
     const SubgraphBatch& batch =
-        offline.batch_data()[static_cast<std::size_t>(b)].batch;
+        offline.batch_data()[static_cast<std::size_t>(b)]->batch;
     for (i64 p = 0; p < batch.num_parts(); ++p) {
       core::ServingRequest req;
       req.fanout = 0;
@@ -75,7 +75,7 @@ bool parity_gate(const Dataset& ds, tcsim::BackendKind backend, bool sparse,
     const core::ServingResult res = futures[i].get();
     const auto [b, p] = origin[i];
     const SubgraphBatch& batch =
-        offline.batch_data()[static_cast<std::size_t>(b)].batch;
+        offline.batch_data()[static_cast<std::size_t>(b)]->batch;
     const MatrixI32& ref_b = ref_logits[static_cast<std::size_t>(b)];
     const i64 r0 = batch.part_bounds[p];
     const i64 r1 = batch.part_bounds[p + 1];

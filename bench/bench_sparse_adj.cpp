@@ -23,7 +23,8 @@ ModeResult run_mode(const Dataset& ds, core::EngineConfig cfg, bool sparse,
                               : core::RunMode::Adjacency::kDenseJump;
   core::QgtcEngine engine(ds, cfg);
   ModeResult r;
-  for (const auto& bd : engine.batch_data()) {
+  for (const auto& bdp : engine.batch_data()) {
+    const auto& bd = *bdp;
     r.adj_storage_bytes += sparse ? bd.adj_tiles.bytes() : bd.adj.bytes();
   }
   r.adj_shipped_bytes = engine.transfer_accounting().adj_bytes;

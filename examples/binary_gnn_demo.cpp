@@ -35,13 +35,13 @@ int main() {
   const auto& data = engine.batch_data();
 
   // Sanity: packed XOR path == naive reference on the first batch.
-  const MatrixI32 a = bin.forward(data[0].adj, data[0].features);
-  const MatrixI32 b = bin.forward_reference(data[0].adj, data[0].features);
+  const MatrixI32 a = bin.forward(data[0]->adj, data[0]->features);
+  const MatrixI32 b = bin.forward_reference(data[0]->adj, data[0]->features);
   std::cout << "XOR kernel vs naive reference on batch 0: "
             << (a == b ? "EXACT MATCH" : "MISMATCH!") << "\n";
 
   const double bin_s = time_it([&] {
-    for (const auto& bd : data) (void)bin.forward(bd.adj, bd.features);
+    for (const auto& bd : data) (void)bin.forward(bd->adj, bd->features);
   }, 0.5);
   const double q2_s = engine.run_quantized(2).forward_seconds;
 

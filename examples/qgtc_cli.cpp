@@ -44,6 +44,7 @@
 #include "graph/io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/dataset_store.hpp"
 
 namespace {
 
@@ -68,6 +69,10 @@ struct Args {
   std::string activation;   // empty = model default (relu)
   std::string save_path;
   std::string load_path;
+  // Out-of-core store + prepared-batch cache.
+  std::string store_path;        // --store DIR: run off a mmap'd store
+  std::string write_store_path;  // --write-store DIR: export then continue
+  qgtc::i64 cache_budget_mb = 0; // --cache-budget-mb N: BatchCache budget
   // --serve: online micro-batching server + open-loop Poisson client.
   bool serve = false;
   double qps = 200.0;
@@ -87,6 +92,7 @@ void usage() {
                "  [--fuse-epilogue|--no-fuse-epilogue]\n"
                "  [--activation identity|relu|relu6|hardswish]\n"
                "  [--save-dataset F] [--load-dataset F]\n"
+               "  [--store DIR] [--write-store DIR] [--cache-budget-mb N]\n"
                "  [--serve] [--qps Q] [--requests N] [--fanout F]\n"
                "  [--trace-out FILE] [--metrics]\n"
                "datasets: Proteins artist BlogCatalog PPI ogbn-arxiv "
@@ -96,7 +102,12 @@ void usage() {
                "                  (chrome://tracing / ui.perfetto.dev) on "
                "exit\n"
                "--metrics         dump the counter/histogram registry on "
-               "exit\n";
+               "exit\n"
+               "--store DIR       run out-of-core off a mmap'd store "
+               "directory\n"
+               "--write-store DIR export the dataset as a store directory\n"
+               "--cache-budget-mb N  prepared-batch cache budget "
+               "(0 = disabled)\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -133,6 +144,9 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--fanout") a.fanout = std::atoi(next());
     else if (flag == "--save-dataset") a.save_path = next();
     else if (flag == "--load-dataset") a.load_path = next();
+    else if (flag == "--store") a.store_path = next();
+    else if (flag == "--write-store") a.write_store_path = next();
+    else if (flag == "--cache-budget-mb") a.cache_budget_mb = std::atoll(next());
     else if (flag == "--help" || flag == "-h") { usage(); return false; }
     else throw std::invalid_argument("unknown flag: " + flag);
   }
@@ -173,32 +187,43 @@ int main(int argc, char** argv) {
   };
 
   Dataset ds;
-  if (!args.load_path.empty()) {
+  std::unique_ptr<store::DatasetStore> dstore;
+  if (!args.store_path.empty()) {
+    std::cout << "Opening dataset store " << args.store_path
+              << " (out-of-core)...\n";
+    dstore = std::make_unique<store::DatasetStore>(
+        store::DatasetStore::open(args.store_path));
+  } else if (!args.load_path.empty()) {
     std::cout << "Loading dataset from " << args.load_path << "...\n";
     ds = io::load_dataset_file(args.load_path);
   } else {
     std::cout << "Generating " << args.dataset << " (Table 1 SBM stand-in)...\n";
     ds = generate_dataset(table1_spec(args.dataset));
   }
-  if (!args.save_path.empty()) {
+  if (!args.save_path.empty() && !dstore) {
     io::save_dataset_file(args.save_path, ds);
     std::cout << "Saved dataset to " << args.save_path << "\n";
   }
+  if (!args.write_store_path.empty() && !dstore) {
+    io::save_dataset_store(args.write_store_path, ds);
+    std::cout << "Wrote dataset store to " << args.write_store_path << "\n";
+  }
+  const DatasetSpec& spec = dstore ? dstore->spec() : ds.spec;
 
   core::EngineConfig cfg;
   cfg.model.kind = args.model == "gin" ? gnn::ModelKind::kBatchedGIN
                                        : gnn::ModelKind::kClusterGCN;
   cfg.model.num_layers = args.layers;
-  cfg.model.in_dim = ds.spec.feature_dim;
+  cfg.model.in_dim = spec.feature_dim;
   cfg.model.hidden_dim = args.hidden;
-  cfg.model.out_dim = ds.spec.num_classes;
+  cfg.model.out_dim = spec.num_classes;
   cfg.model.feat_bits = args.bits;
   cfg.model.weight_bits = args.bits;
   cfg.num_partitions = args.partitions;
   cfg.batch_size = args.batch;
   if (args.autotune) {
     const auto tuned = core::generate_runtime_config(
-        ds.spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj);
+        spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj);
     core::apply(tuned, cfg);
     std::cout << "Autotuned: " << cfg.num_partitions << " partitions, batch "
               << cfg.batch_size << ", " << cfg.inter_batch_threads
@@ -237,6 +262,9 @@ int main(int argc, char** argv) {
     }
   }
   if (args.threads > 0) cfg.inter_batch_threads = args.threads;
+  if (args.cache_budget_mb > 0) {
+    cfg.cache_budget_bytes = args.cache_budget_mb << 20;
+  }
 
   if (args.serve) {
     // Online serving: micro-batching server + open-loop Poisson client.
@@ -245,7 +273,7 @@ int main(int argc, char** argv) {
     core::ServingPolicy policy;
     if (args.autotune) {
       const auto tuned = core::generate_runtime_config(
-          ds.spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj,
+          spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj,
           core::TuneObjective::kLatency);
       policy = tuned.serving;
     }
@@ -256,7 +284,10 @@ int main(int argc, char** argv) {
               << "-bit, max " << policy.max_batch_nodes << " nodes / "
               << policy.max_batch_requests << " requests / "
               << policy.max_wait_us << " us per micro-batch)...\n";
-    core::ServingEngine serving(ds, cfg, policy);
+    std::unique_ptr<core::ServingEngine> serving_ptr =
+        dstore ? std::make_unique<core::ServingEngine>(*dstore, cfg, policy)
+               : std::make_unique<core::ServingEngine>(ds, cfg, policy);
+    core::ServingEngine& serving = *serving_ptr;
 
     core::LoadSpec load;
     load.num_requests = args.requests;
@@ -283,6 +314,13 @@ int main(int argc, char** argv) {
     table.add_row({"packed MB shipped",
                    core::TablePrinter::fmt(
                        static_cast<double>(st.packed_bytes) / 1e6, 2)});
+    table.add_row({"resident-reuse batches",
+                   std::to_string(st.resident_reuse_batches)});
+    if (cfg.cache_budget_bytes > 0) {
+      const auto cs = serving.engine().cache_stats();
+      table.add_row({"cache hits/misses",
+                     std::to_string(cs.hits) + "/" + std::to_string(cs.misses)});
+    }
     table.add_row({"tile MMAs", std::to_string(st.bmma_ops)});
     table.add_row({"batcher busy/stall ms", stage_row(st.batcher_stage)});
     table.add_row({"prepare busy/stall ms", stage_row(st.prepare_stage)});
@@ -295,7 +333,10 @@ int main(int argc, char** argv) {
 
   std::cout << "Building engine (" << gnn::model_name(cfg.model.kind) << ", "
             << args.bits << "-bit, " << cfg.num_partitions << " partitions)...\n";
-  core::QgtcEngine engine(ds, cfg);
+  std::unique_ptr<core::QgtcEngine> engine_ptr =
+      dstore ? std::make_unique<core::QgtcEngine>(*dstore, cfg)
+             : std::make_unique<core::QgtcEngine>(ds, cfg);
+  core::QgtcEngine& engine = *engine_ptr;
 
   const auto q = engine.run_quantized(args.rounds);
   const auto f = engine.run_fp32(args.rounds);
@@ -349,6 +390,28 @@ int main(int argc, char** argv) {
     table.add_row({"prepare busy/stall ms", stage_row(q.stage_breakdown.prepare)});
     table.add_row({"ship busy/stall ms", stage_row(q.stage_breakdown.ship)});
     table.add_row({"compute busy/stall ms", stage_row(q.stage_breakdown.compute)});
+  }
+  if (cfg.cache_budget_bytes > 0) {
+    const double lookups = static_cast<double>(q.cache_hits + q.cache_misses);
+    table.add_row({"cache hits/misses/evict per epoch",
+                   std::to_string(q.cache_hits) + "/" +
+                       std::to_string(q.cache_misses) + "/" +
+                       std::to_string(q.cache_evictions)});
+    table.add_row({"cache hit ratio (timed epochs)",
+                   lookups > 0 ? core::TablePrinter::fmt_pct(
+                                     static_cast<double>(q.cache_hits) / lookups, 1)
+                               : "n/a"});
+    table.add_row({"cache resident MB",
+                   core::TablePrinter::fmt(
+                       static_cast<double>(q.cache_resident_bytes) / 1e6, 2)});
+  }
+  table.add_row({"prepare MB read/epoch",
+                 core::TablePrinter::fmt(
+                     static_cast<double>(q.prepare_bytes_read) / 1e6, 2)});
+  if (dstore) {
+    table.add_row({"mapped store MB",
+                   core::TablePrinter::fmt(
+                       static_cast<double>(engine.mapped_bytes()) / 1e6, 2)});
   }
   table.add_row({"peak prepared MB",
                  core::TablePrinter::fmt(static_cast<double>(q.peak_prepared_bytes) / 1e6, 2)});

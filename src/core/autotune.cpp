@@ -120,6 +120,22 @@ TunedConfig generate_runtime_config(const DatasetSpec& spec,
     t.serving.max_batch_requests = 64;
     t.serving.max_wait_us = 200;
   }
+
+  // Prepared-batch cache budget (cross-epoch reuse). Derived AFTER the
+  // objective override so the footprint reflects the knobs the run will use.
+  t.streaming_footprint_estimate =
+      (2 * static_cast<i64>(t.mode.pipeline_depth) + t.mode.prepare_threads +
+       t.inter_batch_threads + 1) *
+      t.batch_bytes_estimate;
+  if (t.mode.streaming()) {
+    const i64 leftover = mem_budget - t.streaming_footprint_estimate;
+    // A budget that cannot hold one batch degrades to pass-through — disable
+    // it outright so the engine skips lookups too.
+    t.cache_budget_bytes =
+        leftover >= t.batch_bytes_estimate
+            ? std::min<i64>(leftover, t.epoch_bytes_estimate)
+            : 0;
+  }
   return t;
 }
 
@@ -128,6 +144,7 @@ void apply(const TunedConfig& tuned, EngineConfig& cfg) {
   cfg.batch_size = tuned.batch_size;
   cfg.inter_batch_threads = tuned.inter_batch_threads;
   cfg.mode = tuned.mode;
+  cfg.cache_budget_bytes = tuned.cache_budget_bytes;
   cfg.model.fused_epilogue = tuned.fuse_epilogue;
   cfg.model.activation = tuned.activation;
 }

@@ -69,6 +69,16 @@ struct TunedConfig {
   /// Estimated bytes of the fully-materialised epoch (what precomputed mode
   /// would hold resident).
   i64 epoch_bytes_estimate = 0;
+  /// Estimated resident bytes of the streaming in-flight window
+  /// (~(2*depth + prepare + compute + 1) batches — see pipeline.hpp).
+  i64 streaming_footprint_estimate = 0;
+  /// Prepared-batch cache budget (EngineConfig::cache_budget_bytes): the
+  /// memory-budget slice left after the streaming footprint, capped at the
+  /// epoch estimate (caching more than one epoch's batches buys nothing).
+  /// Zero — cache disabled — for precomputed runs (the epoch is already
+  /// resident) and for profiles whose leftover budget cannot hold even one
+  /// batch (a smaller cache would thrash, never hit).
+  i64 cache_budget_bytes = 0;
 };
 
 /// Deterministically derives engine knobs from dataset shape + profile.

@@ -21,11 +21,15 @@
 //   adjacency-layout combination.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "gnn/model.hpp"
 #include "graph/generator.hpp"
 #include "obs/metrics.hpp"
+#include "store/batch_cache.hpp"
+#include "store/dataset_store.hpp"
 #include "transfer/packing.hpp"
 
 namespace qgtc::core {
@@ -92,6 +96,12 @@ struct EngineConfig {
   int inter_batch_threads = 1;
   /// Epoch execution discipline + adjacency layout (see RunMode).
   RunMode mode;
+  /// Byte budget of the cross-epoch prepared-batch cache consulted at the
+  /// shared prepare entry (prepare_batch / prepare_subgraph). 0 disables
+  /// caching entirely (pure pass-through). Hits skip prepare + pack and ship
+  /// zero bytes (device-resident reuse); results stay bit-identical either
+  /// way because cached entries ARE the prepared data.
+  i64 cache_budget_bytes = 0;
 };
 
 struct EngineStats {
@@ -130,6 +140,19 @@ struct EngineStats {
   i64 staging_capacity_bytes = 0;
   // Kernel-reported process peak RSS (VmHWM), for bench JSON output.
   i64 vm_hwm_bytes = 0;
+  // Feature/CSR bytes read from the batch source during the timed epochs'
+  // prepare stages (per epoch, averaged over rounds). 0 when every batch
+  // hit the cache or the epoch was precomputed.
+  i64 prepare_bytes_read = 0;
+  // BatchCache activity during the timed epochs (per epoch, averaged over
+  // rounds) plus the cache's resident footprint at the end of the run.
+  i64 cache_hits = 0;
+  i64 cache_misses = 0;
+  i64 cache_evictions = 0;
+  i64 cache_resident_bytes = 0;
+  // Total mmap'd store bytes (feature chunks + CSR shards); 0 for in-core
+  // engines.
+  i64 mapped_bytes = 0;
   // Streaming mode: per-stage busy/stall decomposition of the pipeline
   // (summed over each stage's workers, averaged over rounds). All zeros in
   // precomputed mode, which has no inter-stage queues to stall on. This is
@@ -159,6 +182,12 @@ class QgtcEngine {
   /// pipeline starts, so streaming and precomputed runs quantize with
   /// identical shifts.
   QgtcEngine(const Dataset& dataset, const EngineConfig& cfg);
+
+  /// Same pipeline over an out-of-core store: the global CSR is walked
+  /// through the store's mmap'd shard view and features gather through the
+  /// FeatureStore — bit-identical to the in-core constructor on the same
+  /// dataset (the store round-trips the exact bytes).
+  QgtcEngine(const store::DatasetStore& dstore, const EngineConfig& cfg);
 
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   [[nodiscard]] const gnn::QgtcModel& model() const { return model_; }
@@ -196,29 +225,61 @@ class QgtcEngine {
     }
   };
 
+  /// Shared-ownership handle to immutable prepared batch data. The cache,
+  /// the precomputed epoch store and in-flight pipeline items all share one
+  /// allocation; eviction never invalidates a consumer.
+  using BatchRef = std::shared_ptr<const BatchData>;
+
   /// Builds batch `i`'s complete data from the global CSR + features — the
   /// single prepare entry point both modes run (precomputed at construction,
   /// streaming inside the pipeline's prepare stage). `build_fp32_csr=false`
   /// skips the fp32-only local CSR; the quantized streaming pipeline and
   /// the transfer accounting never read it.
-  [[nodiscard]] BatchData prepare_batch(i64 i, bool build_fp32_csr = true) const;
+  /// Consults the BatchCache first when a budget is configured;
+  /// `cache_hit` (optional) reports whether the returned data came from it.
+  [[nodiscard]] BatchRef prepare_batch(i64 i, bool build_fp32_csr = true,
+                                       bool* cache_hit = nullptr) const;
 
   /// Builds complete batch data for an *arbitrary* subgraph batch — the
   /// serving layer's dynamic micro-batches ride the exact same prepare path
   /// as the epoch batches (`prepare_batch_data` + `QgtcModel::prepare_input`),
   /// so a request served online is bit-identical to the same batch
   /// membership run through the offline epoch path.
-  [[nodiscard]] BatchData prepare_subgraph(const SubgraphBatch& batch,
-                                           bool build_fp32_csr = false) const;
+  [[nodiscard]] BatchRef prepare_subgraph(const SubgraphBatch& batch,
+                                          bool build_fp32_csr = false,
+                                          bool* cache_hit = nullptr) const;
 
-  /// The dataset this engine serves (global CSR + features — the serving
-  /// layer's ego-graph expansion walks it).
-  [[nodiscard]] const Dataset& dataset() const { return *dataset_; }
+  /// The dataset this engine serves when constructed in-core. Store-backed
+  /// engines have no materialised Dataset — use graph() / spec() instead.
+  [[nodiscard]] const Dataset& dataset() const {
+    QGTC_CHECK(dataset_ != nullptr,
+               "store-backed engine has no in-core Dataset; use graph()");
+    return *dataset_;
+  }
+
+  /// The global CSR this engine walks (in-core graph or mmap'd store view —
+  /// the serving layer's ego-graph expansion traverses either).
+  [[nodiscard]] const CsrView& graph() const { return graph_; }
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+
+  /// Cumulative BatchCache activity since construction (both run modes; the
+  /// per-run EngineStats carry the timed-epoch delta instead).
+  [[nodiscard]] store::BatchCacheStats cache_stats() const {
+    return cache_.stats();
+  }
+  /// Cumulative source bytes read by prepare misses since construction.
+  [[nodiscard]] i64 prepare_bytes_read() const {
+    return prepare_bytes_read_.load(std::memory_order_relaxed);
+  }
+  /// Total mmap'd store bytes backing this engine (0 in-core).
+  [[nodiscard]] i64 mapped_bytes() const {
+    return dstore_ != nullptr ? dstore_->mapped_bytes() : 0;
+  }
 
   /// Precomputed mode only: the materialised per-batch data (exposed for
   /// the ablation/zero-tile benches). Throws in streaming mode, which never
   /// holds a full epoch.
-  [[nodiscard]] const std::vector<BatchData>& batch_data() const {
+  [[nodiscard]] const std::vector<BatchRef>& batch_data() const {
     QGTC_CHECK(!cfg_.mode.streaming(),
                "batch_data() is precomputed-mode only; streaming engines "
                "never materialise the epoch");
@@ -226,16 +287,32 @@ class QgtcEngine {
   }
 
  private:
+  void init();
+
   EngineStats run_quantized_precomputed(int rounds,
                                         std::vector<MatrixI32>* logits_out);
   EngineStats run_quantized_streaming(int rounds,
                                       std::vector<MatrixI32>* logits_out);
+  EngineStats run_fp32_streaming(int rounds);
+
+  /// Stamps the timed-section cache/store deltas into `stats`.
+  void stamp_cache_stats(EngineStats& stats,
+                         const store::BatchCacheStats& before, i64 bytes_before,
+                         int rounds) const;
 
   EngineConfig cfg_;
-  const Dataset* dataset_;
+  const Dataset* dataset_ = nullptr;             // in-core engines only
+  const store::DatasetStore* dstore_ = nullptr;  // store-backed engines only
+  DatasetSpec spec_;
+  CsrView graph_;
+  store::FeatureSource features_;
   gnn::QgtcModel model_;
   std::vector<SubgraphBatch> batches_;
-  std::vector<BatchData> data_;  // precomputed mode only
+  std::vector<BatchRef> data_;  // precomputed mode only
+  /// Keyed by membership + this fingerprint (quantization/layout config).
+  u64 cache_fingerprint_ = 0;
+  mutable store::BatchCache<BatchData> cache_;
+  mutable std::atomic<i64> prepare_bytes_read_{0};
 };
 
 /// Packs an already-prepared batch into `slot` (dense plane or tile-CSR

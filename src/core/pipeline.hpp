@@ -205,6 +205,9 @@ struct StreamEpochStats {
   // plus the staging-ring allocation high-water.
   i64 peak_prepared_bytes = 0;
   i64 staging_capacity_bytes = 0;
+  // Batches whose ship stage reported a device-resident payload
+  // (transfer::resident_reuse() — BatchCache hits skipping pack + wire).
+  i64 resident_reuse_batches = 0;
   // Per-stage busy-vs-stall decomposition, summed over each stage's workers
   // (so a stage's busy+stall can exceed epoch wall time when it has several
   // workers). Stall is time blocked on the inter-stage queues — a stalling
@@ -343,6 +346,7 @@ StreamEpochStats run_stream_epoch(const StreamEpochConfig& cfg,
         stats.adj_bytes += packed.adjacency_bytes;
         stats.wire_seconds += packed.modeled_seconds;
         stats.staging_seconds += packed.staging_seconds;
+        if (packed.transfers == 0) ++stats.resident_reuse_batches;
         blocked = 0.0;
         const bool pushed = ship_q.push(std::move(*s), &blocked);
         local.stall_seconds += blocked;

@@ -56,12 +56,33 @@ struct ServingEngine::Pending {
 struct ServingEngine::MicroBatch {
   std::vector<Pending> members;
   SubgraphBatch batch;
-  QgtcEngine::BatchData bd;
+  QgtcEngine::BatchRef bd;
+  /// True when bd came out of the engine's BatchCache — the ship stage then
+  /// charges resident reuse (zero bytes) instead of packing.
+  bool cached = false;
 };
 
 ServingEngine::ServingEngine(const Dataset& dataset, EngineConfig cfg,
                              const ServingPolicy& policy)
     : policy_(policy) {
+  validate_policy();
+  // Streaming mode: the engine calibrates off batch 0 but never materialises
+  // an offline epoch — the server's batches are the dynamic micro-batches.
+  cfg.mode.epoch = RunMode::Epoch::kStreaming;
+  engine_ = std::make_unique<QgtcEngine>(dataset, cfg);
+  start(cfg);
+}
+
+ServingEngine::ServingEngine(const store::DatasetStore& dstore,
+                             EngineConfig cfg, const ServingPolicy& policy)
+    : policy_(policy) {
+  validate_policy();
+  cfg.mode.epoch = RunMode::Epoch::kStreaming;
+  engine_ = std::make_unique<QgtcEngine>(dstore, cfg);
+  start(cfg);
+}
+
+void ServingEngine::validate_policy() const {
   QGTC_CHECK(policy_.max_batch_nodes >= 1 && policy_.max_batch_requests >= 1,
              "micro-batch budgets must be >= 1");
   QGTC_CHECK(policy_.max_wait_us >= 0, "max_wait_us must be non-negative");
@@ -69,12 +90,9 @@ ServingEngine::ServingEngine(const Dataset& dataset, EngineConfig cfg,
              "stage worker counts must be >= 1");
   QGTC_CHECK(policy_.admission_capacity >= 1 && policy_.queue_depth >= 1,
              "queue capacities must be >= 1");
+}
 
-  // Streaming mode: the engine calibrates off batch 0 but never materialises
-  // an offline epoch — the server's batches are the dynamic micro-batches.
-  cfg.mode.epoch = RunMode::Epoch::kStreaming;
-  engine_ = std::make_unique<QgtcEngine>(dataset, cfg);
-
+void ServingEngine::start(const EngineConfig& cfg) {
   admission_ = std::make_unique<BoundedQueue<Pending>>(
       static_cast<std::size_t>(policy_.admission_capacity));
   prep_q_ = std::make_unique<BoundedQueue<MicroBatch>>(
@@ -115,7 +133,7 @@ std::future<ServingResult> ServingEngine::submit(ServingRequest req) {
   // Admission-time expansion: a bad request fails its own future here, long
   // before it could poison a micro-batch.
   try {
-    p.nodes = expand_ego(engine_->dataset().graph, req.seeds, req.fanout,
+    p.nodes = expand_ego(engine_->graph(), req.seeds, req.fanout,
                          req.max_nodes);
   } catch (...) {
     p.promise.set_exception(std::current_exception());
@@ -295,7 +313,9 @@ void ServingEngine::prepare_loop() {
       obs::SpanScope span("prepare", "microbatch",
                           {{"nodes", mb->batch.size()},
                            {"requests", static_cast<i64>(mb->members.size())}});
-      mb->bd = engine_->prepare_subgraph(mb->batch);
+      mb->bd = engine_->prepare_subgraph(mb->batch, /*build_fp32_csr=*/false,
+                                         &mb->cached);
+      span.arg("cache_hit", mb->cached ? 1 : 0);
     } catch (...) {
       note_stage(stats_mu_, stats_.prepare_stage, body.seconds(), 0.0);
       fail_batch(*mb, std::current_exception());
@@ -326,12 +346,17 @@ void ServingEngine::ship_loop() {
       obs::SpanScope span("ship", "microbatch",
                           {{"nodes", mb->batch.size()},
                            {"requests", static_cast<i64>(mb->members.size())}});
+      // A cache hit means the prepared payload is already device-resident:
+      // nothing to pack, nothing on the wire.
       const transfer::PackedSubgraph packed =
-          pack_prepared_batch(mb->bd, sparse, ring_.next(), pcie_);
+          mb->cached ? transfer::resident_reuse()
+                     : pack_prepared_batch(*mb->bd, sparse, ring_.next(),
+                                           pcie_);
       span.arg("bytes", packed.total_bytes);
       std::lock_guard lock(stats_mu_);
       stats_.packed_bytes += packed.total_bytes;
       stats_.wire_seconds += packed.modeled_seconds;
+      if (packed.transfers == 0) ++stats_.resident_reuse_batches;
       stats_.ship_stage.busy_seconds += body.seconds();
     } catch (...) {
       note_stage(stats_mu_, stats_.ship_stage, body.seconds(), 0.0);
@@ -364,7 +389,7 @@ void ServingEngine::compute_loop(std::size_t worker) {
     if (!mb.has_value()) break;
     Timer body;
     try {
-      const QgtcEngine::BatchData& bd = mb->bd;
+      const QgtcEngine::BatchData& bd = *mb->bd;
       MatrixI32 logits;
       {
         QGTC_SPAN("compute", "microbatch",
@@ -423,8 +448,7 @@ LoadReport run_poisson_load(ServingEngine& serving, const LoadSpec& spec) {
   QGTC_CHECK(spec.num_requests >= 1, "load spec needs at least one request");
   QGTC_CHECK(spec.target_qps > 0, "target_qps must be positive");
   QGTC_CHECK(spec.seeds_per_request >= 1, "need at least one seed per request");
-  const CsrGraph& g = serving.engine().dataset().graph;
-  const i64 n = g.num_nodes();
+  const i64 n = serving.engine().graph().num_nodes();
   QGTC_CHECK(n >= spec.seeds_per_request,
              "dataset smaller than seeds_per_request");
 

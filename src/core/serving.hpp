@@ -102,6 +102,9 @@ struct ServingStats {
   /// Transfer accounting charged by the ship stage (PCIe model, §4.6).
   i64 packed_bytes = 0;
   double wire_seconds = 0;
+  /// Micro-batches whose prepared payload was a BatchCache hit: the ship
+  /// stage charged zero bytes / zero transfers (transfer::resident_reuse).
+  i64 resident_reuse_batches = 0;
   /// Substrate counters summed over the compute workers' sessions.
   i64 bmma_ops = 0;
   i64 tiles_jumped = 0;
@@ -126,6 +129,10 @@ struct ServingStats {
 class ServingEngine {
  public:
   ServingEngine(const Dataset& dataset, EngineConfig cfg,
+                const ServingPolicy& policy);
+  /// Out-of-core variant: serves straight off a mmap'd DatasetStore (which
+  /// must outlive the server). Same pipeline, same cache, same parity.
+  ServingEngine(const store::DatasetStore& dstore, EngineConfig cfg,
                 const ServingPolicy& policy);
   ~ServingEngine();
 
@@ -153,6 +160,10 @@ class ServingEngine {
   struct Pending;
   struct MicroBatch;
 
+  void validate_policy() const;
+  /// Builds queues, sessions and stage threads around the already-constructed
+  /// engine_ (shared tail of both constructors).
+  void start(const EngineConfig& cfg);
   void batcher_loop();
   void prepare_loop();
   void ship_loop();

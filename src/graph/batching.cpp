@@ -25,7 +25,7 @@ std::vector<SubgraphBatch> make_batches(const PartitionResult& parts,
   return batches;
 }
 
-std::vector<i32> expand_ego(const CsrGraph& g, const std::vector<i32>& seeds,
+std::vector<i32> expand_ego(const CsrView& g, const std::vector<i32>& seeds,
                             int fanout, i64 max_nodes) {
   QGTC_CHECK(!seeds.empty(), "ego-graph expansion needs at least one seed");
   QGTC_CHECK(fanout >= 0, "fanout must be non-negative");
@@ -64,7 +64,7 @@ namespace {
 /// Applies fn(local_u, local_v) for every intra-partition edge of the batch
 /// (plus optional self-loops), using a global->local scratch map.
 template <typename Fn>
-void for_each_batch_edge(const CsrGraph& g, const SubgraphBatch& batch,
+void for_each_batch_edge(const CsrView& g, const SubgraphBatch& batch,
                          bool add_self_loops, Fn&& fn) {
   std::vector<i32> local_of(static_cast<std::size_t>(g.num_nodes()), -1);
   std::vector<i32> part_of_local(static_cast<std::size_t>(batch.size()));
@@ -93,7 +93,7 @@ void for_each_batch_edge(const CsrGraph& g, const SubgraphBatch& batch,
 
 }  // namespace
 
-BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,
+BitMatrix build_batch_adjacency(const CsrView& g, const SubgraphBatch& batch,
                                 bool add_self_loops) {
   BitMatrix adj(batch.size(), batch.size(), BitLayout::kRowMajorK,
                 PadPolicy::kTile8);
@@ -102,7 +102,7 @@ BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,
   return adj;
 }
 
-TileSparseBitMatrix build_batch_adjacency_tiles(const CsrGraph& g,
+TileSparseBitMatrix build_batch_adjacency_tiles(const CsrView& g,
                                                 const SubgraphBatch& batch,
                                                 bool add_self_loops) {
   const i64 n = batch.size();
@@ -164,7 +164,7 @@ TileSparseBitMatrix build_batch_adjacency_tiles(const CsrGraph& g,
   return adj;
 }
 
-CsrGraph build_batch_csr(const CsrGraph& g, const SubgraphBatch& batch,
+CsrGraph build_batch_csr(const CsrView& g, const SubgraphBatch& batch,
                          bool add_self_loops) {
   std::vector<std::pair<i32, i32>> edges;
   for_each_batch_edge(g, batch, add_self_loops, [&](i64 u, i64 v) {
@@ -195,13 +195,9 @@ CsrGraph build_batch_csr(const CsrGraph& g, const SubgraphBatch& batch,
   return CsrGraph::from_edges(n, std::move(uniq), /*symmetrize=*/false);
 }
 
-MatrixF gather_rows(const MatrixF& features, const std::vector<i32>& nodes) {
-  MatrixF out(static_cast<i64>(nodes.size()), features.cols());
-  parallel_for(0, static_cast<i64>(nodes.size()), [&](i64 i) {
-    const auto src = features.row(nodes[static_cast<std::size_t>(i)]);
-    std::copy(src.begin(), src.end(), out.row(i).begin());
-  });
-  return out;
+MatrixF gather_rows(const store::FeatureSource& features,
+                    const std::vector<i32>& nodes) {
+  return features.gather(nodes);
 }
 
 i64 PreparedBatch::prepared_bytes() const {
@@ -217,7 +213,8 @@ i64 PreparedBatch::prepared_bytes() const {
   return total;
 }
 
-PreparedBatch prepare_batch_data(const CsrGraph& g, const MatrixF& features,
+PreparedBatch prepare_batch_data(const CsrView& g,
+                                 const store::FeatureSource& features,
                                  const SubgraphBatch& batch, bool sparse_adj,
                                  bool add_self_loops, bool build_fp32_csr) {
   PreparedBatch bd;
@@ -232,7 +229,7 @@ PreparedBatch prepare_batch_data(const CsrGraph& g, const MatrixF& features,
     bd.tile_map = build_tile_map(bd.adj_tiles);
   }
   if (build_fp32_csr) bd.local = build_batch_csr(g, batch, add_self_loops);
-  bd.features = gather_rows(features, batch.nodes);
+  bd.features = features.gather(batch.nodes);
   return bd;
 }
 

@@ -10,6 +10,7 @@
 #include "bittensor/tile_sparse.hpp"
 #include "common/matrix.hpp"
 #include "graph/csr.hpp"
+#include "store/feature_store.hpp"
 #include "graph/partitioner.hpp"
 #include "kernels/zerotile.hpp"
 
@@ -36,28 +37,31 @@ std::vector<SubgraphBatch> make_batches(const PartitionResult& parts,
 /// request asked about. `max_nodes > 0` truncates the frontier once the set
 /// reaches that size (admission control for runaway hubs); seeds are always
 /// kept. Throws if any seed is out of range or duplicated.
-std::vector<i32> expand_ego(const CsrGraph& g, const std::vector<i32>& seeds,
+std::vector<i32> expand_ego(const CsrView& g, const std::vector<i32>& seeds,
                             int fanout, i64 max_nodes = 0);
 
 /// Builds the batch's dense binary adjacency (kRowMajorK, PAD8 rows) with
 /// only intra-partition edges, plus self-loops when `add_self_loops`.
-BitMatrix build_batch_adjacency(const CsrGraph& g, const SubgraphBatch& batch,
+BitMatrix build_batch_adjacency(const CsrView& g, const SubgraphBatch& batch,
                                 bool add_self_loops = true);
 
 /// Same adjacency in the tile-CSR layout, built straight from the global CSR
 /// — the dense block-diagonal matrix is never allocated and no dense tile
 /// scan runs. Memory is ~the nonzero-tile ratio of the dense layout
 /// (Figure 8: typically 5–15 % for batched subgraphs).
-TileSparseBitMatrix build_batch_adjacency_tiles(const CsrGraph& g,
+TileSparseBitMatrix build_batch_adjacency_tiles(const CsrView& g,
                                                 const SubgraphBatch& batch,
                                                 bool add_self_loops = true);
 
 /// Same adjacency in local CSR form, for the fp32 SpMM baseline.
-CsrGraph build_batch_csr(const CsrGraph& g, const SubgraphBatch& batch,
+CsrGraph build_batch_csr(const CsrView& g, const SubgraphBatch& batch,
                          bool add_self_loops = true);
 
-/// Gathers the feature rows of the batch's nodes: (batch.size() x dim).
-MatrixF gather_rows(const MatrixF& features, const std::vector<i32>& nodes);
+/// Gathers the feature rows of the batch's nodes: (batch.size() x dim) —
+/// from the in-core matrix or through the out-of-core feature store, via the
+/// implicit-converting `store::FeatureSource`.
+MatrixF gather_rows(const store::FeatureSource& features,
+                    const std::vector<i32>& nodes);
 
 /// Everything the graph layer prepares for one batch, in both engine modes:
 /// the precomputed engine materialises one per batch up front, the streaming
@@ -84,7 +88,8 @@ struct PreparedBatch {
 /// `build_fp32_csr=false` skips the local CSR (it feeds only the fp32
 /// baseline path; the streaming quantized pipeline never touches it, and
 /// its edge sort is a large share of the prepare cost).
-PreparedBatch prepare_batch_data(const CsrGraph& g, const MatrixF& features,
+PreparedBatch prepare_batch_data(const CsrView& g,
+                                 const store::FeatureSource& features,
                                  const SubgraphBatch& batch, bool sparse_adj,
                                  bool add_self_loops = true,
                                  bool build_fp32_csr = true);

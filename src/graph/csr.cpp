@@ -49,4 +49,26 @@ bool CsrGraph::has_edge(i64 u, i64 v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), static_cast<i32>(v));
 }
 
+CsrView::CsrView(i64 num_nodes, i64 num_edges, std::vector<Segment> segments)
+    : num_nodes_(num_nodes),
+      num_edges_(num_edges),
+      segments_(std::move(segments)) {
+  QGTC_CHECK(!segments_.empty(), "CsrView needs at least one segment");
+  i64 next = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    QGTC_CHECK(s.first_node == next, "CSR segments must tile the node range");
+    QGTC_CHECK(s.num_nodes > 0 && s.row_ptr != nullptr && s.col_idx != nullptr,
+               "CSR segment is empty or unmapped");
+    // Uniform span (except the last segment) is what makes segment_of O(1).
+    if (i + 1 < segments_.size()) {
+      QGTC_CHECK(s.num_nodes == segments_[0].num_nodes,
+                 "non-uniform CSR segment span");
+    }
+    next += s.num_nodes;
+  }
+  QGTC_CHECK(next == num_nodes_, "CSR segments do not cover all nodes");
+  nodes_per_segment_ = std::max<i64>(segments_[0].num_nodes, 1);
+}
+
 }  // namespace qgtc

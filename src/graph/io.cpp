@@ -1,15 +1,20 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "store/format.hpp"
+
 namespace qgtc::io {
 namespace {
 
 constexpr u32 kMagic = 0x51475443;  // "QGTC"
-constexpr u32 kVersion = 1;
+// v2 added the endianness probe word after the version.
+constexpr u32 kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -88,6 +93,7 @@ void write_edge_list(std::ostream& out, const CsrGraph& g) {
 void save_dataset(std::ostream& out, const Dataset& ds) {
   write_pod(out, kMagic);
   write_pod(out, kVersion);
+  write_pod(out, store::kEndianProbe);
   write_string(out, ds.spec.name);
   write_pod<i64>(out, ds.spec.num_nodes);
   write_pod<i64>(out, ds.spec.num_edges);
@@ -109,6 +115,8 @@ void save_dataset(std::ostream& out, const Dataset& ds) {
 Dataset load_dataset(std::istream& in) {
   QGTC_CHECK(read_pod<u32>(in) == kMagic, "not a QGTC dataset stream");
   QGTC_CHECK(read_pod<u32>(in) == kVersion, "unsupported dataset version");
+  QGTC_CHECK(read_pod<u32>(in) == store::kEndianProbe,
+             "dataset stream endianness mismatch");
   Dataset ds;
   ds.spec.name = read_string(in);
   ds.spec.num_nodes = read_pod<i64>(in);
@@ -156,6 +164,100 @@ Dataset load_dataset_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   QGTC_CHECK(in.is_open(), "cannot open file for reading: " + path);
   return load_dataset(in);
+}
+
+namespace {
+
+std::ofstream open_store_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  QGTC_CHECK(out.is_open(), "cannot open store file for writing: " + path);
+  return out;
+}
+
+store::FileHeader make_header(u32 magic) {
+  store::FileHeader h;
+  h.magic = magic;
+  h.version = store::kStoreVersion;
+  h.endian = store::kEndianProbe;
+  return h;
+}
+
+}  // namespace
+
+void save_dataset_store(const std::string& dir, const Dataset& ds,
+                        const StoreWriteOptions& opt) {
+  QGTC_CHECK(opt.chunk_cols > 0 && opt.nodes_per_shard > 0,
+             "invalid store write geometry");
+  QGTC_CHECK(ds.spec.num_nodes > 0 && ds.spec.feature_dim > 0,
+             "cannot write a store for an empty dataset");
+  std::filesystem::create_directories(dir);
+
+  const i64 rows = ds.features.rows();
+  const i64 cols = ds.features.cols();
+  const i64 num_chunks = ceil_div(cols, opt.chunk_cols);
+  const i64 num_shards = ceil_div(ds.spec.num_nodes, opt.nodes_per_shard);
+
+  // Feature column chunks: rows x [col0, col1) slices, row-major per chunk.
+  for (i64 c = 0; c < num_chunks; ++c) {
+    const i64 col0 = c * opt.chunk_cols;
+    const i64 ccols = std::min(opt.chunk_cols, cols - col0);
+    store::ChunkHeader h;
+    h.file = make_header(store::kChunkMagic);
+    h.rows = rows;
+    h.col0 = col0;
+    h.cols = ccols;
+    h.total_cols = cols;
+    std::ofstream out = open_store_file(dir + "/" + store::chunk_filename(c));
+    write_pod(out, h);
+    std::vector<float> row_buf(static_cast<std::size_t>(ccols));
+    for (i64 r = 0; r < rows; ++r) {
+      const auto src = ds.features.row(r);
+      std::copy(src.begin() + col0, src.begin() + col0 + ccols,
+                row_buf.begin());
+      out.write(reinterpret_cast<const char*>(row_buf.data()),
+                static_cast<std::streamsize>(row_buf.size() * sizeof(float)));
+    }
+    QGTC_CHECK(static_cast<bool>(out), "short write to feature chunk");
+  }
+
+  // CSR shards: global row_ptr offsets + the node range's col_idx slice.
+  const std::vector<i64>& row_ptr = ds.graph.row_ptr();
+  const std::vector<i32>& col_idx = ds.graph.col_idx();
+  for (i64 s = 0; s < num_shards; ++s) {
+    const i64 first = s * opt.nodes_per_shard;
+    const i64 n = std::min(opt.nodes_per_shard, ds.spec.num_nodes - first);
+    store::ShardHeader h;
+    h.file = make_header(store::kShardMagic);
+    h.total_nodes = ds.spec.num_nodes;
+    h.total_edges = ds.graph.num_edges();
+    h.first_node = first;
+    h.num_nodes = n;
+    std::ofstream out = open_store_file(dir + "/" + store::shard_filename(s));
+    write_pod(out, h);
+    out.write(reinterpret_cast<const char*>(row_ptr.data() + first),
+              static_cast<std::streamsize>((n + 1) * sizeof(i64)));
+    const i64 e0 = row_ptr[static_cast<std::size_t>(first)];
+    const i64 e1 = row_ptr[static_cast<std::size_t>(first + n)];
+    out.write(reinterpret_cast<const char*>(col_idx.data() + e0),
+              static_cast<std::streamsize>((e1 - e0) * sizeof(i32)));
+    QGTC_CHECK(static_cast<bool>(out), "short write to CSR shard");
+  }
+
+  // Meta: header + spec + geometry + labels.
+  std::ofstream out = open_store_file(dir + "/" + store::meta_filename());
+  write_pod(out, make_header(store::kMetaMagic));
+  write_string(out, ds.spec.name);
+  write_pod<i64>(out, ds.spec.num_nodes);
+  write_pod<i64>(out, ds.spec.num_edges);
+  write_pod<i64>(out, ds.spec.feature_dim);
+  write_pod<i64>(out, ds.spec.num_classes);
+  write_pod<i64>(out, ds.spec.num_clusters);
+  write_pod<u64>(out, ds.spec.seed);
+  write_pod<i64>(out, num_chunks);
+  write_pod<i64>(out, opt.nodes_per_shard);
+  write_pod<i64>(out, num_shards);
+  write_vec(out, ds.labels);
+  QGTC_CHECK(static_cast<bool>(out), "short write to store meta");
 }
 
 }  // namespace qgtc::io

@@ -31,4 +31,22 @@ Dataset load_dataset(std::istream& in);
 void save_dataset_file(const std::string& path, const Dataset& ds);
 Dataset load_dataset_file(const std::string& path);
 
+/// Geometry knobs for the out-of-core store writer.
+struct StoreWriteOptions {
+  /// Feature columns per mmap'd chunk file. Full-row training gathers fault
+  /// one page per (row, chunk) pair, so the default keeps a typical feature
+  /// row inside a single chunk; narrow chunks only pay off when readers
+  /// select column subsets.
+  i64 chunk_cols = 1024;
+  /// Nodes per CSR shard file (uniform except the last shard).
+  i64 nodes_per_shard = 64 * 1024;
+};
+
+/// Writes `ds` as an out-of-core store directory (creating it): `store.meta`
+/// plus feature column-chunk files and CSR shard files, each carrying a
+/// magic + version + endianness header (store/format.hpp). Read back with
+/// `store::DatasetStore::open`.
+void save_dataset_store(const std::string& dir, const Dataset& ds,
+                        const StoreWriteOptions& opt = {});
+
 }  // namespace qgtc::io

@@ -8,7 +8,7 @@
 
 namespace qgtc {
 
-double PartitionResult::intra_edge_fraction(const CsrGraph& g) const {
+double PartitionResult::intra_edge_fraction(const CsrView& g) const {
   if (g.num_edges() == 0) return 1.0;
   i64 intra = 0;
   for (i64 u = 0; u < g.num_nodes(); ++u) {
@@ -24,7 +24,7 @@ namespace {
 /// One refinement sweep: move boundary nodes to the neighbouring partition
 /// that hosts the majority of their edges, when the balance bound allows it.
 /// (Greedy single-node Kernighan-Lin-style gains.)
-i64 refine_pass(const CsrGraph& g, std::vector<i32>& part_of,
+i64 refine_pass(const CsrView& g, std::vector<i32>& part_of,
                 std::vector<i64>& part_size, i64 max_size, i64 num_parts) {
   i64 moves = 0;
   std::vector<i64> gain(static_cast<std::size_t>(num_parts), 0);
@@ -59,7 +59,7 @@ i64 refine_pass(const CsrGraph& g, std::vector<i32>& part_of,
 
 }  // namespace
 
-PartitionResult partition_graph(const CsrGraph& g, i64 num_parts,
+PartitionResult partition_graph(const CsrView& g, i64 num_parts,
                                 const PartitionOptions& opt) {
   QGTC_CHECK(num_parts >= 1, "need at least one partition");
   const i64 n = g.num_nodes();

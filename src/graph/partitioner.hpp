@@ -17,7 +17,7 @@ struct PartitionResult {
 
   /// Fraction of edges whose endpoints share a partition (modularity-style
   /// quality signal; random partitioning scores ~1/num_parts).
-  double intra_edge_fraction(const CsrGraph& g) const;
+  double intra_edge_fraction(const CsrView& g) const;
 };
 
 struct PartitionOptions {
@@ -29,7 +29,7 @@ struct PartitionOptions {
 };
 
 /// Partition `g` into `num_parts` parts. Deterministic in `opt.seed`.
-PartitionResult partition_graph(const CsrGraph& g, i64 num_parts,
+PartitionResult partition_graph(const CsrView& g, i64 num_parts,
                                 const PartitionOptions& opt = {});
 
 }  // namespace qgtc

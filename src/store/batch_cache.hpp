@@ -1,0 +1,250 @@
+// Cross-epoch prepared-batch cache — the GPU-resident-reuse substitute of
+// the paper's setting (see DESIGN.md substitution table). A byte-budgeted,
+// sharded LRU of immutable prepared batches keyed by batch *membership*
+// (nodes + partition bounds) plus a quantization-config fingerprint, so the
+// key is invariant across epochs, run modes and engines sharing a prepare
+// entry. Values are `shared_ptr<const V>`: a hit hands out shared ownership,
+// so eviction never invalidates an in-flight consumer.
+//
+// Key and invalidation rules (also documented in DESIGN.md):
+//  * lookup hashes the membership, then verifies FULL membership equality
+//    and fingerprint equality — a 64-bit hash collision degrades to a miss,
+//    never to wrong batch data;
+//  * entries carry a capability mask (which optional pieces were built —
+//    quantized planes, fp32 local CSR); a hit must cover the caller's needs,
+//    otherwise it is a miss and the richer rebuild replaces the entry;
+//  * an entry larger than one shard's budget is never inserted (a cache
+//    whose budget is smaller than one batch degrades to pass-through);
+//  * eviction is per-shard LRU by bytes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/batching.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace qgtc::store {
+
+/// Entry capability bits: which optional prepared pieces the entry holds.
+inline constexpr u32 kCapPlanes = 1u << 0;   // quantized input bit planes
+inline constexpr u32 kCapFp32Csr = 1u << 1;  // local CSR for the fp32 path
+
+struct BatchCacheStats {
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 evictions = 0;
+  i64 inserts = 0;
+  i64 resident_bytes = 0;
+  i64 entries = 0;
+};
+
+/// FNV-1a over the batch membership and config fingerprint.
+inline u64 hash_batch_key(const SubgraphBatch& b, u64 fingerprint) {
+  u64 h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(fingerprint);
+  mix(static_cast<u64>(b.nodes.size()));
+  for (const i32 v : b.nodes) mix(static_cast<u64>(static_cast<u32>(v)));
+  for (const i64 v : b.part_bounds) mix(static_cast<u64>(v));
+  return h;
+}
+
+template <typename V>
+class BatchCache {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  explicit BatchCache(i64 budget_bytes = 0) { set_budget(budget_bytes); }
+
+  /// Budget 0 disables the cache entirely (lookup always misses without
+  /// recording stats, insert is a no-op).
+  void set_budget(i64 budget_bytes) {
+    budget_ = budget_bytes > 0 ? budget_bytes : 0;
+    shard_budget_ = budget_ / static_cast<i64>(kShards);
+  }
+  [[nodiscard]] bool enabled() const { return shard_budget_ > 0; }
+  [[nodiscard]] i64 budget() const { return budget_; }
+
+  /// Returns the cached value if membership + fingerprint match and the
+  /// entry's capabilities cover `needs`; null otherwise.
+  [[nodiscard]] std::shared_ptr<const V> lookup(const SubgraphBatch& batch,
+                                                u64 fingerprint, u32 needs) {
+    if (!enabled()) return nullptr;
+    const u64 h = hash_batch_key(batch, fingerprint);
+    Shard& sh = shards_[shard_of(h)];
+    std::shared_ptr<const V> found;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      const auto it = sh.index.find(h);
+      if (it != sh.index.end()) {
+        for (const auto& pos : it->second) {
+          if (pos->fingerprint == fingerprint && (pos->caps & needs) == needs &&
+              pos->nodes == batch.nodes &&
+              pos->part_bounds == batch.part_bounds) {
+            sh.lru.splice(sh.lru.begin(), sh.lru, pos);  // move to front
+            found = pos->value;
+            break;
+          }
+        }
+      }
+    }
+    QGTC_SPAN("cache", "lookup",
+              {{"hit", found ? 1 : 0}, {"nodes", batch.size()}});
+    if (found) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      counters().hits->add(1);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      counters().misses->add(1);
+    }
+    return found;
+  }
+
+  /// Inserts (or replaces, when the new entry's capabilities are richer) and
+  /// evicts LRU entries past the shard budget. Oversized entries are
+  /// silently skipped.
+  void insert(const SubgraphBatch& batch, u64 fingerprint, u32 caps, i64 bytes,
+              std::shared_ptr<const V> value) {
+    if (!enabled() || bytes > shard_budget_) return;
+    const u64 h = hash_batch_key(batch, fingerprint);
+    Shard& sh = shards_[shard_of(h)];
+    i64 evicted = 0;
+    i64 bytes_delta = 0;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      const i64 bytes_before = sh.bytes;
+      // Drop any existing entry for this exact key first (capability
+      // upgrade path).
+      auto it = sh.index.find(h);
+      if (it != sh.index.end()) {
+        auto& posns = it->second;
+        for (std::size_t i = 0; i < posns.size(); ++i) {
+          if (posns[i]->fingerprint == fingerprint &&
+              posns[i]->nodes == batch.nodes &&
+              posns[i]->part_bounds == batch.part_bounds) {
+            sh.bytes -= posns[i]->bytes;
+            sh.lru.erase(posns[i]);
+            posns.erase(posns.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+        if (posns.empty()) sh.index.erase(it);
+      }
+      sh.lru.push_front(Entry{h, fingerprint, batch.nodes, batch.part_bounds,
+                              caps, bytes, std::move(value)});
+      sh.index[h].push_back(sh.lru.begin());
+      sh.bytes += bytes;
+      while (sh.bytes > shard_budget_) {
+        const auto victim = std::prev(sh.lru.end());
+        sh.bytes -= victim->bytes;
+        unindex(sh, victim);
+        sh.lru.erase(victim);
+        ++evicted;
+      }
+      bytes_delta = sh.bytes - bytes_before;
+    }
+    resident_bytes_.fetch_add(bytes_delta, std::memory_order_relaxed);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+      counters().evictions->add(evicted);
+    }
+  }
+
+  [[nodiscard]] BatchCacheStats stats() const {
+    BatchCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    i64 bytes = 0, entries = 0;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      bytes += sh.bytes;
+      entries += static_cast<i64>(sh.lru.size());
+    }
+    s.resident_bytes = bytes;
+    s.entries = entries;
+    return s;
+  }
+
+  void clear() {
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.lru.clear();
+      sh.index.clear();
+      sh.bytes = 0;
+    }
+    resident_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    u64 hash = 0;
+    u64 fingerprint = 0;
+    std::vector<i32> nodes;
+    std::vector<i64> part_bounds;
+    u32 caps = 0;
+    i64 bytes = 0;
+    std::shared_ptr<const V> value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<u64, std::vector<typename std::list<Entry>::iterator>>
+        index;
+    i64 bytes = 0;
+  };
+
+  struct ObsCounters {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* evictions;
+  };
+  static const ObsCounters& counters() {
+    static const ObsCounters c{
+        &obs::MetricsRegistry::instance().counter("cache.hits"),
+        &obs::MetricsRegistry::instance().counter("cache.misses"),
+        &obs::MetricsRegistry::instance().counter("cache.evictions")};
+    return c;
+  }
+
+  static std::size_t shard_of(u64 h) {
+    return static_cast<std::size_t>((h >> 56) % kShards);
+  }
+
+  void unindex(Shard& sh, typename std::list<Entry>::iterator victim) {
+    const auto it = sh.index.find(victim->hash);
+    if (it == sh.index.end()) return;
+    auto& posns = it->second;
+    for (std::size_t i = 0; i < posns.size(); ++i) {
+      if (posns[i] == victim) {
+        posns.erase(posns.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (posns.empty()) sh.index.erase(it);
+  }
+
+  i64 budget_ = 0;
+  i64 shard_budget_ = 0;
+  std::array<Shard, kShards> shards_;
+  std::atomic<i64> hits_{0};
+  std::atomic<i64> misses_{0};
+  std::atomic<i64> evictions_{0};
+  std::atomic<i64> inserts_{0};
+  std::atomic<i64> resident_bytes_{0};
+};
+
+}  // namespace qgtc::store

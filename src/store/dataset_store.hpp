@@ -1,0 +1,60 @@
+// Out-of-core dataset: the mmap-backed counterpart of `Dataset`. Opens a
+// store directory written by `io::save_dataset_store` and exposes the same
+// three surfaces the engine consumes — a `CsrView` over the shard files, a
+// `FeatureStore` behind `FeatureSource`, and the (small, resident) label
+// vector — so full-scale datasets run on hosts whose RAM cannot hold the
+// global CSR + feature matrix.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generator.hpp"
+#include "store/feature_store.hpp"
+
+namespace qgtc::store {
+
+/// Knobs for opening a store.
+struct StoreOpenOptions {
+  /// Residency budget handed to the FeatureStore (bytes gathered between
+  /// MADV_DONTNEED sweeps over every mapping of the store). 0 = never drop.
+  i64 residency_budget_bytes = 64ll << 20;
+};
+
+class DatasetStore {
+ public:
+  DatasetStore(DatasetStore&&) = default;
+  DatasetStore& operator=(DatasetStore&&) = default;
+
+  static DatasetStore open(const std::string& dir,
+                           const StoreOpenOptions& opt = {});
+
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+  [[nodiscard]] const CsrView& graph() const { return graph_; }
+  [[nodiscard]] const FeatureStore& features() const { return features_; }
+  [[nodiscard]] const std::vector<i32>& labels() const { return labels_; }
+
+  /// Total mapped file bytes (feature chunks + CSR shards).
+  [[nodiscard]] i64 mapped_bytes() const {
+    return features_.mapped_bytes() + csr_mapped_bytes_;
+  }
+
+  void set_residency_budget(i64 bytes) {
+    features_.set_residency_budget(bytes);
+  }
+
+ private:
+  DatasetStore() = default;
+
+  DatasetSpec spec_;
+  std::vector<i32> labels_;
+  FeatureStore features_;
+  /// Shared so the FeatureStore's release hook stays valid across moves.
+  std::shared_ptr<std::vector<MappedFile>> shards_;
+  i64 csr_mapped_bytes_ = 0;
+  CsrView graph_;
+};
+
+}  // namespace qgtc::store

@@ -1,0 +1,140 @@
+#include "store/feature_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace qgtc::store {
+
+namespace {
+
+void check_file_header(const FileHeader& h, u32 expected_magic,
+                       const std::string& path) {
+  QGTC_CHECK(h.magic == expected_magic, "bad magic in store file: " + path);
+  QGTC_CHECK(h.version == kStoreVersion,
+             "unsupported store format version in: " + path);
+  QGTC_CHECK(h.endian == kEndianProbe,
+             "store file endianness mismatch: " + path);
+}
+
+}  // namespace
+
+FeatureStore FeatureStore::open(const std::string& dir, i64 rows, i64 cols,
+                                i64 num_chunks) {
+  QGTC_CHECK(rows > 0 && cols > 0 && num_chunks > 0,
+             "invalid feature store geometry");
+  FeatureStore fs;
+  fs.rows_ = rows;
+  fs.cols_ = cols;
+  i64 next_col = 0;
+  for (i64 i = 0; i < num_chunks; ++i) {
+    const std::string path = dir + "/" + chunk_filename(i);
+    MappedFile file = MappedFile::open(path);
+    QGTC_CHECK(file.size() >= static_cast<i64>(sizeof(ChunkHeader)),
+               "feature chunk file truncated: " + path);
+    ChunkHeader h{};
+    std::memcpy(&h, file.data(), sizeof(h));
+    check_file_header(h.file, kChunkMagic, path);
+    QGTC_CHECK(h.rows == rows && h.total_cols == cols && h.col0 == next_col &&
+                   h.cols > 0,
+               "feature chunk geometry mismatch: " + path);
+    QGTC_CHECK(file.size() == static_cast<i64>(sizeof(ChunkHeader)) +
+                                  h.rows * h.cols *
+                                      static_cast<i64>(sizeof(float)),
+               "feature chunk payload size mismatch: " + path);
+    Chunk c;
+    c.col0 = h.col0;
+    c.cols = h.cols;
+    c.data = reinterpret_cast<const float*>(file.data() + sizeof(ChunkHeader));
+    fs.mapped_bytes_ += file.size();
+    c.file = std::move(file);
+    fs.chunks_.push_back(std::move(c));
+    next_col += h.cols;
+  }
+  QGTC_CHECK(next_col == cols, "feature chunks do not tile the column range");
+  obs::MetricsRegistry::instance().gauge("store.mapped_bytes")
+      .set(static_cast<double>(fs.mapped_bytes_));
+  return fs;
+}
+
+MatrixF FeatureStore::gather(const std::vector<i32>& nodes) const {
+  const i64 n = static_cast<i64>(nodes.size());
+  QGTC_SPAN("store", "gather",
+            {{"rows", n}, {"bytes", n * cols_ * static_cast<i64>(sizeof(float))}});
+  MatrixF out(n, cols_);
+  parallel_for(0, n, [&](i64 i) {
+    const i64 r = nodes[static_cast<std::size_t>(i)];
+    float* dst = out.row(i).data();
+    for (const Chunk& c : chunks_) {
+      std::memcpy(dst + c.col0, c.data + r * c.cols,
+                  static_cast<std::size_t>(c.cols) * sizeof(float));
+    }
+  });
+  const i64 bytes = n * cols_ * static_cast<i64>(sizeof(float));
+  acct_->bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  static obs::Counter& c_read =
+      obs::MetricsRegistry::instance().counter("store.bytes_read");
+  c_read.add(bytes);
+  // Residency is page-granular: a scattered row gather faults one whole page
+  // per (row, chunk) pair, so charge the budget with that upper bound
+  // (clamped per chunk to the chunk's payload size) rather than the logical
+  // bytes copied out.
+  constexpr i64 kPageBytes = 4096;
+  i64 faulted = 0;
+  for (const Chunk& c : chunks_) {
+    faulted += std::min(n * kPageBytes,
+                        rows_ * c.cols * static_cast<i64>(sizeof(float)));
+  }
+  maybe_release(faulted);
+  return out;
+}
+
+void FeatureStore::maybe_release(i64 bytes_faulted_estimate) const {
+  if (residency_budget_ <= 0) return;
+  if (acct_->since_release.fetch_add(bytes_faulted_estimate,
+                                     std::memory_order_relaxed) +
+          bytes_faulted_estimate <
+      residency_budget_) {
+    return;
+  }
+  // One thread performs the sweep; concurrent gathers just refault the
+  // dropped (read-only, file-backed) pages, so data is never affected.
+  std::lock_guard<std::mutex> lock(acct_->release_mu);
+  if (acct_->since_release.load(std::memory_order_relaxed) <
+      residency_budget_) {
+    return;  // another thread swept while we waited
+  }
+  acct_->since_release.store(0, std::memory_order_relaxed);
+  for (const Chunk& c : chunks_) c.file.release_residency();
+  if (extra_release_) extra_release_();
+  static obs::Counter& c_drop =
+      obs::MetricsRegistry::instance().counter("store.residency_drops");
+  c_drop.add(1);
+}
+
+i64 FeatureSource::rows() const {
+  QGTC_CHECK(valid(), "FeatureSource is empty");
+  return matrix_ != nullptr ? matrix_->rows() : store_->rows();
+}
+
+i64 FeatureSource::cols() const {
+  QGTC_CHECK(valid(), "FeatureSource is empty");
+  return matrix_ != nullptr ? matrix_->cols() : store_->cols();
+}
+
+MatrixF FeatureSource::gather(const std::vector<i32>& nodes) const {
+  QGTC_CHECK(valid(), "FeatureSource is empty");
+  if (store_ != nullptr) return store_->gather(nodes);
+  // In-core path: byte-identical to the pre-store gather_rows.
+  MatrixF out(static_cast<i64>(nodes.size()), matrix_->cols());
+  parallel_for(0, static_cast<i64>(nodes.size()), [&](i64 i) {
+    const auto src = matrix_->row(nodes[static_cast<std::size_t>(i)]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  });
+  return out;
+}
+
+}  // namespace qgtc::store

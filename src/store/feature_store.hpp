@@ -1,0 +1,119 @@
+// Out-of-core feature matrix: mmap'd column-chunk files plus the
+// `FeatureSource` indirection that lets `graph/batching::gather_rows` read
+// either an in-core MatrixF or the store through one call shape. This is the
+// UVM / pinned-host staging substitute of the paper's setting (see DESIGN.md
+// substitution table): features never materialise in heap memory — gathers
+// copy row segments straight out of the page cache, and a residency budget
+// periodically drops the mapping's pages so peak RSS stays bounded by the
+// budget instead of the dataset.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "store/format.hpp"
+#include "store/mapped_file.hpp"
+
+namespace qgtc::store {
+
+class FeatureStore {
+ public:
+  FeatureStore() = default;
+  FeatureStore(FeatureStore&&) = default;
+  FeatureStore& operator=(FeatureStore&&) = default;
+
+  /// Maps `num_chunks` chunk files under `dir`; validates headers and
+  /// geometry (chunks must tile [0, cols)).
+  static FeatureStore open(const std::string& dir, i64 rows, i64 cols,
+                           i64 num_chunks);
+
+  [[nodiscard]] i64 rows() const { return rows_; }
+  [[nodiscard]] i64 cols() const { return cols_; }
+
+  /// Gathers the feature rows of `nodes` into a (nodes.size() x cols)
+  /// matrix — bit-identical to gathering from the in-core MatrixF the store
+  /// was written from. Thread-safe; counts bytes read and enforces the
+  /// residency budget.
+  [[nodiscard]] MatrixF gather(const std::vector<i32>& nodes) const;
+
+  /// Total bytes of file data currently mapped (chunk payloads + headers).
+  [[nodiscard]] i64 mapped_bytes() const { return mapped_bytes_; }
+  /// Cumulative feature bytes copied out by gather().
+  [[nodiscard]] i64 bytes_read() const {
+    return acct_->bytes_read.load(std::memory_order_relaxed);
+  }
+
+  /// Residency budget: once an estimated `budget` bytes of mapping pages
+  /// have been faulted in since the last drop, every chunk mapping (and the
+  /// extra hook below) gets MADV_DONTNEED. The estimate is page-granular —
+  /// a scattered row gather faults a whole page per touched chunk, so
+  /// charging logical bytes would undercount residency by 4-30x.
+  /// 0 disables dropping (pure page-cache behaviour).
+  void set_residency_budget(i64 budget) { residency_budget_ = budget; }
+  [[nodiscard]] i64 residency_budget() const { return residency_budget_; }
+
+  /// Invoked alongside chunk drops so sibling mappings (the CSR shards of
+  /// the owning DatasetStore) release in the same sweep.
+  void set_extra_release_hook(std::function<void()> hook) {
+    extra_release_ = std::move(hook);
+  }
+
+ private:
+  struct Chunk {
+    i64 col0 = 0;
+    i64 cols = 0;
+    MappedFile file;
+    const float* data = nullptr;  // rows x cols payload after the header
+  };
+
+  /// Shared-state block kept behind a pointer so FeatureStore stays movable
+  /// (atomics and mutexes are not).
+  struct Accounting {
+    std::atomic<i64> bytes_read{0};
+    std::atomic<i64> since_release{0};
+    std::mutex release_mu;
+  };
+
+  void maybe_release(i64 bytes_faulted_estimate) const;
+
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  i64 mapped_bytes_ = 0;
+  i64 residency_budget_ = 0;
+  std::vector<Chunk> chunks_;
+  std::function<void()> extra_release_;
+  std::unique_ptr<Accounting> acct_ = std::make_unique<Accounting>();
+};
+
+/// Non-owning feature source: the single parameter type the batching layer
+/// gathers from. Implicitly constructible from the in-core feature matrix
+/// (every existing call site) or from a FeatureStore (out-of-core engines).
+class FeatureSource {
+ public:
+  FeatureSource() = default;
+  /*implicit*/ FeatureSource(const MatrixF& m)  // NOLINT(google-explicit-constructor)
+      : matrix_(&m) {}
+  /*implicit*/ FeatureSource(const FeatureStore& s)  // NOLINT(google-explicit-constructor)
+      : store_(&s) {}
+
+  [[nodiscard]] bool valid() const {
+    return matrix_ != nullptr || store_ != nullptr;
+  }
+  [[nodiscard]] bool out_of_core() const { return store_ != nullptr; }
+  [[nodiscard]] i64 rows() const;
+  [[nodiscard]] i64 cols() const;
+
+  /// Gathers the rows of `nodes` (see FeatureStore::gather).
+  [[nodiscard]] MatrixF gather(const std::vector<i32>& nodes) const;
+
+ private:
+  const MatrixF* matrix_ = nullptr;
+  const FeatureStore* store_ = nullptr;
+};
+
+}  // namespace qgtc::store

@@ -1,0 +1,61 @@
+// On-disk layout of the out-of-core dataset store — shared by the writer
+// (graph/io::save_dataset_store) and the mmap loader (store::DatasetStore).
+//
+// A store is a directory:
+//   store.meta            spec + labels + chunk/shard geometry
+//   feat_<i>.qfc          one mmap'd column chunk of the feature matrix
+//   csr_<i>.qcs           one mmap'd CSR shard (contiguous node range)
+//
+// Every file starts with the same 16-byte guard: magic, format version, the
+// endianness probe 0x01020304 written as a native u32 (a big-endian writer
+// produces 0x04030201 and is rejected at open — the payloads are raw
+// little-endian arrays), and a reserved word. All offsets/sizes are i64.
+#pragma once
+
+#include "common/defs.hpp"
+
+namespace qgtc::store {
+
+struct FileHeader {
+  u32 magic = 0;
+  u32 version = 0;
+  u32 endian = 0;
+  u32 reserved = 0;
+};
+
+inline constexpr u32 kMetaMagic = 0x4d545351;   // "QSTM"
+inline constexpr u32 kChunkMagic = 0x43465351;  // "QSFC"
+inline constexpr u32 kShardMagic = 0x53435351;  // "QSCS"
+inline constexpr u32 kStoreVersion = 1;
+inline constexpr u32 kEndianProbe = 0x01020304;
+
+/// Geometry of one feature column chunk: rows x [col0, col0+cols) floats,
+/// row-major, immediately after the header.
+struct ChunkHeader {
+  FileHeader file;
+  i64 rows = 0;
+  i64 col0 = 0;
+  i64 cols = 0;
+  i64 total_cols = 0;
+};
+
+/// One CSR shard: nodes [first_node, first_node+num_nodes), row_ptr keeps
+/// global edge offsets (num_nodes + 1 entries) followed by that range's
+/// col_idx slice.
+struct ShardHeader {
+  FileHeader file;
+  i64 total_nodes = 0;
+  i64 total_edges = 0;
+  i64 first_node = 0;
+  i64 num_nodes = 0;
+};
+
+inline const char* meta_filename() { return "store.meta"; }
+inline std::string chunk_filename(i64 i) {
+  return "feat_" + std::to_string(i) + ".qfc";
+}
+inline std::string shard_filename(i64 i) {
+  return "csr_" + std::to_string(i) + ".qcs";
+}
+
+}  // namespace qgtc::store

@@ -1,0 +1,59 @@
+#include "store/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qgtc::store {
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<u8*>(data_), static_cast<std::size_t>(size_));
+    }
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<u8*>(data_), static_cast<std::size_t>(size_));
+  }
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  QGTC_CHECK(fd >= 0, "cannot open store file: " + path + " (" +
+                          std::strerror(errno) + ")");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    QGTC_CHECK(false, "store file is empty or unreadable: " + path);
+  }
+  void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                   MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  QGTC_CHECK(p != MAP_FAILED, "mmap failed for store file: " + path);
+  // Store access is random row gather; default readahead would fault in
+  // ~128 KB clusters around every touched row and blow the residency budget.
+  ::madvise(p, static_cast<std::size_t>(st.st_size), MADV_RANDOM);
+  MappedFile f;
+  f.data_ = static_cast<const u8*>(p);
+  f.size_ = static_cast<i64>(st.st_size);
+  return f;
+}
+
+void MappedFile::release_residency() const {
+  if (data_ == nullptr) return;
+  ::madvise(const_cast<u8*>(data_), static_cast<std::size_t>(size_),
+            MADV_DONTNEED);
+}
+
+}  // namespace qgtc::store

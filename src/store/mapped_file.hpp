@@ -1,0 +1,38 @@
+// Read-only mmap wrapper used by the out-of-core store. Mappings are
+// MAP_PRIVATE + PROT_READ over immutable store files, so dropping residency
+// with madvise(MADV_DONTNEED) is always safe: later accesses refault the
+// identical file bytes.
+#pragma once
+
+#include <string>
+
+#include "common/defs.hpp"
+
+namespace qgtc::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& o) noexcept { *this = std::move(o); }
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  ~MappedFile();
+
+  /// Maps `path` read-only; throws on open/map failure or empty file.
+  static MappedFile open(const std::string& path);
+
+  [[nodiscard]] const u8* data() const { return data_; }
+  [[nodiscard]] i64 size() const { return size_; }
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+
+  /// Asks the kernel to drop this mapping's resident pages (best-effort;
+  /// concurrent readers just refault). No-op on an empty mapping.
+  void release_residency() const;
+
+ private:
+  const u8* data_ = nullptr;
+  i64 size_ = 0;
+};
+
+}  // namespace qgtc::store

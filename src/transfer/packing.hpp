@@ -41,4 +41,14 @@ PackedSubgraph pack_batch_tiles(const TileSparseBitMatrix& adjacency,
 PackedSubgraph dense_fp32_baseline(i64 num_nodes, i64 feature_dim,
                                    const PcieModel& pcie);
 
+/// Accounting for a batch whose prepared payload is already device-resident
+/// (a BatchCache hit — the GPU-resident-reuse substitute, see DESIGN.md):
+/// nothing crosses the wire, no staging copy, zero transfers. The streaming
+/// executor recognises `transfers == 0` and counts the batch as reused.
+inline PackedSubgraph resident_reuse() {
+  PackedSubgraph p;
+  p.transfers = 0;
+  return p;
+}
+
 }  // namespace qgtc::transfer

@@ -146,5 +146,55 @@ TEST(Autotune, TunedEngineRuns) {
   EXPECT_EQ(s.nodes, 3000);
 }
 
+TEST(Autotune, CacheBudgetFitsInsideDeviceBudget) {
+  // Streaming profiles carve the prepared-batch cache out of what the memory
+  // budget leaves after the pipeline's in-flight window: cache + footprint
+  // must fit inside the budget slice, and never exceed one epoch.
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  DeviceProfile dev;
+  dev.memory_bytes = 64 * 1024 * 1024;  // streaming, with room for a cache
+  const TunedConfig t = generate_runtime_config(spec, model_for(spec), dev);
+  ASSERT_TRUE(t.mode.streaming());
+  EXPECT_GT(t.streaming_footprint_estimate, 0);
+  EXPECT_LE(t.cache_budget_bytes,
+            dev.memory_bytes / 4 - t.streaming_footprint_estimate);
+  EXPECT_LE(t.cache_budget_bytes, t.epoch_bytes_estimate);
+}
+
+TEST(Autotune, TinyBudgetDisablesCache) {
+  // When the leftover budget cannot hold even one batch, the cache would
+  // thrash without ever hitting — the tuner disables it outright.
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  DeviceProfile tiny;
+  tiny.memory_bytes = 8 * 1024 * 1024;
+  const TunedConfig t = generate_runtime_config(spec, model_for(spec), tiny);
+  ASSERT_TRUE(t.mode.streaming());
+  // The in-flight window was sized to fill the budget slice; what is left
+  // cannot hold one more batch.
+  EXPECT_LT(tiny.memory_bytes / 4 - t.streaming_footprint_estimate,
+            t.batch_bytes_estimate);
+  EXPECT_EQ(t.cache_budget_bytes, 0);
+}
+
+TEST(Autotune, PrecomputedProfilesDisableCache) {
+  // The precomputed epoch is already fully resident; a cache on top would
+  // only duplicate it.
+  DatasetSpec small_graph{"tiny", 2000, 10000, 8, 2, 4, 3};
+  const TunedConfig t =
+      generate_runtime_config(small_graph, model_for(small_graph));
+  ASSERT_FALSE(t.mode.streaming());
+  EXPECT_EQ(t.cache_budget_bytes, 0);
+}
+
+TEST(Autotune, ApplyCopiesCacheBudget) {
+  const DatasetSpec spec = table1_spec("ogbn-arxiv");
+  DeviceProfile dev;
+  dev.memory_bytes = 64 * 1024 * 1024;
+  const TunedConfig t = generate_runtime_config(spec, model_for(spec), dev);
+  EngineConfig cfg;
+  apply(t, cfg);
+  EXPECT_EQ(cfg.cache_budget_bytes, t.cache_budget_bytes);
+}
+
 }  // namespace
 }  // namespace qgtc::core

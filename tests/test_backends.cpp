@@ -213,7 +213,8 @@ TEST(Backends, EngineOutputsIdenticalAcrossBackendsAndThreads) {
   // Per-batch logits must not depend on the backend or on which context ran
   // the pass — forward passes are pure given (model, batch).
   const tcsim::ExecutionContext scalar(tcsim::BackendKind::kScalar);
-  for (const auto& bd : engine.batch_data()) {
+  for (const auto& bdp : engine.batch_data()) {
+    const auto& bd = *bdp;
     const MatrixI32 want = engine.model().forward_prepared(
         bd.adj, &bd.tile_map, bd.x_planes, nullptr, &scalar);
     for (const auto kind :

@@ -35,7 +35,7 @@ TEST(Engine, BuildsBatchesAndCalibrates) {
   EXPECT_EQ(engine.num_batches(), 4);
   EXPECT_TRUE(engine.model().calibrated());
   i64 covered = 0;
-  for (const auto& bd : engine.batch_data()) covered += bd.batch.size();
+  for (const auto& bd : engine.batch_data()) covered += bd->batch.size();
   EXPECT_EQ(covered, 2000);
 }
 
@@ -87,8 +87,8 @@ TEST(Engine, QuantizedLogitsDeterministic) {
   const EngineConfig cfg = small_config(gnn::ModelKind::kClusterGCN, 3);
   QgtcEngine e1(ds, cfg);
   QgtcEngine e2(ds, cfg);
-  const auto& bd1 = e1.batch_data().front();
-  const auto& bd2 = e2.batch_data().front();
+  const auto& bd1 = *e1.batch_data().front();
+  const auto& bd2 = *e2.batch_data().front();
   EXPECT_EQ(e1.model().forward_quantized(bd1.adj, bd1.features),
             e2.model().forward_quantized(bd2.adj, bd2.features));
 }

@@ -348,7 +348,8 @@ TEST(StreamingEngine, ChargesTransferInlineAndBoundsResidency) {
   EXPECT_EQ(s.packed_bytes, post.packed_bytes);
   EXPECT_EQ(s.adj_bytes, post.adj_bytes);
   // And streaming never materialises the epoch.
-  EXPECT_THROW(streaming.batch_data(), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(streaming.batch_data()),
+               std::invalid_argument);
 }
 
 // --------------------------- transfer accounting packs the prepared planes
@@ -375,7 +376,8 @@ TEST(TransferParity, PackedTotalsMatchFreshlyQuantizedPlanes) {
                    ? transfer::pack_batch_tiles(bd.adj_tiles, planes, slot, pcie)
                    : transfer::pack_batch(bd.adj, planes, slot, pcie);
       };
-      for (const auto& bd : engine.batch_data()) {
+      for (const auto& bdp : engine.batch_data()) {
+        const auto& bd = *bdp;
         const auto engine_packed = pack(bd, bd.x_planes, s1);
 
         const QuantParams qp =

@@ -124,7 +124,7 @@ TEST(ServingParity, BitIdenticalToOfflineEpochAcrossBackendsAndLayouts) {
       std::vector<std::pair<i64, i64>> origin;  // (offline batch, partition)
       for (i64 b = 0; b < offline.num_batches(); ++b) {
         const SubgraphBatch& batch = offline.batch_data()[
-            static_cast<std::size_t>(b)].batch;
+            static_cast<std::size_t>(b)]->batch;
         for (i64 p = 0; p < batch.num_parts(); ++p) {
           ServingRequest req;
           req.fanout = 0;
@@ -142,7 +142,7 @@ TEST(ServingParity, BitIdenticalToOfflineEpochAcrossBackendsAndLayouts) {
         const ServingResult res = futures[i].get();
         const auto [b, p] = origin[i];
         const SubgraphBatch& batch = offline.batch_data()[
-            static_cast<std::size_t>(b)].batch;
+            static_cast<std::size_t>(b)]->batch;
         // The micro-batch reproduced the offline membership exactly.
         EXPECT_EQ(res.batch_nodes, batch.size());
         EXPECT_EQ(res.batch_requests, batch.num_parts());

@@ -266,8 +266,8 @@ TEST(TileSparse, EngineSparseModeMatchesDenseMode) {
   // Same model seed + same calibration batch (sparse calibrates through the
   // tile-CSR) => identical logits batch by batch.
   for (std::size_t i = 0; i < dense_engine.batch_data().size(); ++i) {
-    const auto& db = dense_engine.batch_data()[i];
-    const auto& sb = sparse_engine.batch_data()[i];
+    const auto& db = *dense_engine.batch_data()[i];
+    const auto& sb = *sparse_engine.batch_data()[i];
     EXPECT_TRUE(sb.adj.data() == nullptr || sb.adj.bytes() == 0);
     const MatrixI32 dl =
         dense_engine.model().forward_prepared(db.adj, &db.tile_map, db.x_planes);
@@ -310,7 +310,7 @@ TEST(TileSparse, TransferAccountingShipsNonzeroFootprint) {
   // Per-batch accounting formula: payload + u32 col indices + row offsets.
   transfer::PcieModel pcie;
   transfer::StagingBuffer staging;
-  const auto& bd = sparse_engine.batch_data().front();
+  const auto& bd = *sparse_engine.batch_data().front();
   const auto packed =
       transfer::pack_batch_tiles(bd.adj_tiles, bd.x_planes, staging, pcie);
   const i64 want = bd.adj_tiles.nnz_tiles() * 128 +
