@@ -6,6 +6,7 @@
 //            [--hidden H] [--rounds R] [--backend scalar|simd|blocked]
 //            [--threads T] [--sparse-adj|--dense-adj]
 //            [--streaming] [--pipeline-depth D] [--prepare-threads P]
+//            [--shards S] [--pin-numa]
 //            [--serve] [--qps Q] [--requests N] [--fanout F]
 //            [--trace-out trace.json] [--metrics]
 //            [--save-dataset file.bin] [--load-dataset file.bin]
@@ -40,6 +41,7 @@
 #include "core/autotune.hpp"
 #include "core/engine.hpp"
 #include "core/serving.hpp"
+#include "core/sharded.hpp"
 #include "core/stats.hpp"
 #include "graph/io.hpp"
 #include "obs/metrics.hpp"
@@ -63,6 +65,8 @@ struct Args {
   bool streaming = false;
   int pipeline_depth = 0;   // 0 = unset (engine default, or autotuned)
   int prepare_threads = 0;  // 0 = unset
+  int shards = 0;           // 0 = unset (1 engine, or autotuned shard count)
+  bool pin_numa = false;    // pin each shard's workers to its NUMA slice
   std::string backend;  // empty = engine default (QGTC_BACKEND or blocked)
   int threads = 0;      // 0 = unset (engine default, or autotuned)
   int fuse_epilogue = -1;   // -1 = unset, 0 = --no-fuse-epilogue, 1 = --fuse-epilogue
@@ -88,6 +92,7 @@ void usage() {
                "  [--bits B] [--partitions N] [--batch B] [--layers L]\n"
                "  [--hidden H] [--rounds R] [--autotune] [--sparse-adj|--dense-adj]\n"
                "  [--streaming] [--pipeline-depth D] [--prepare-threads P]\n"
+               "  [--shards S] [--pin-numa]\n"
                "  [--backend scalar|simd|blocked] [--threads T]\n"
                "  [--fuse-epilogue|--no-fuse-epilogue]\n"
                "  [--activation identity|relu|relu6|hardswish]\n"
@@ -107,7 +112,13 @@ void usage() {
                "directory\n"
                "--write-store DIR export the dataset as a store directory\n"
                "--cache-budget-mb N  prepared-batch cache budget "
-               "(0 = disabled)\n";
+               "(0 = disabled)\n"
+               "--shards S        shard the epoch across S engines with halo "
+               "exchange\n"
+               "                  (under --autotune, S comes from the NUMA "
+               "topology)\n"
+               "--pin-numa        pin each shard's workers to its NUMA CPU "
+               "slice\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -131,6 +142,8 @@ bool parse(int argc, char** argv, Args& a) {
     else if (flag == "--streaming") a.streaming = true;
     else if (flag == "--pipeline-depth") a.pipeline_depth = std::atoi(next());
     else if (flag == "--prepare-threads") a.prepare_threads = std::atoi(next());
+    else if (flag == "--shards") a.shards = std::atoi(next());
+    else if (flag == "--pin-numa") a.pin_numa = true;
     else if (flag == "--backend") a.backend = next();
     else if (flag == "--threads") a.threads = std::atoi(next());
     else if (flag == "--fuse-epilogue") a.fuse_epilogue = 1;
@@ -221,10 +234,14 @@ int main(int argc, char** argv) {
   cfg.model.weight_bits = args.bits;
   cfg.num_partitions = args.partitions;
   cfg.batch_size = args.batch;
+  int tuned_shards = 1;
+  bool tuned_pin = false;
   if (args.autotune) {
     const auto tuned = core::generate_runtime_config(
         spec, cfg.model, {}, /*sparse_adj=*/!args.dense_adj);
     core::apply(tuned, cfg);
+    tuned_shards = tuned.num_shards;
+    tuned_pin = tuned.pin_numa;
     std::cout << "Autotuned: " << cfg.num_partitions << " partitions, batch "
               << cfg.batch_size << ", " << cfg.inter_batch_threads
               << " inter-batch threads, "
@@ -235,7 +252,9 @@ int main(int argc, char** argv) {
                                       std::to_string(cfg.mode.pipeline_depth) + ")"
                                 : "precomputed")
               << " epoch (~" << tuned.epoch_bytes_estimate / 1000000
-              << " MB materialised)\n";
+              << " MB materialised), " << tuned.num_shards << " shard"
+              << (tuned.num_shards == 1 ? "" : "s")
+              << (tuned.pin_numa ? " (NUMA-pinned)" : "") << "\n";
   }
   // Explicit flags beat both the defaults and the autotuner (--dense-adj
   // forces the dense+flag-jump baseline even under --autotune).
@@ -326,6 +345,77 @@ int main(int argc, char** argv) {
     table.add_row({"prepare busy/stall ms", stage_row(st.prepare_stage)});
     table.add_row({"ship busy/stall ms", stage_row(st.ship_stage)});
     table.add_row({"compute busy/stall ms", stage_row(st.compute_stage)});
+    table.print(std::cout);
+    flush_observability();
+    return 0;
+  }
+
+  // --shards beats the autotuner; with neither, a single engine runs below.
+  const int effective_shards =
+      args.shards > 0 ? args.shards : (args.autotune ? tuned_shards : 1);
+  const bool effective_pin = args.pin_numa || (args.autotune && tuned_pin);
+  if (effective_shards > 1) {
+    if (dstore) {
+      std::cerr << "error: --shards requires an in-core dataset "
+                   "(--store is not supported with sharding)\n";
+      return 1;
+    }
+    std::cout << "Building " << effective_shards << " sharded engines ("
+              << gnn::model_name(cfg.model.kind) << ", " << args.bits
+              << "-bit, " << cfg.num_partitions << " partitions"
+              << (effective_pin ? ", NUMA-pinned" : "") << ")...\n";
+    core::ShardedConfig scfg;
+    scfg.num_shards = effective_shards;
+    scfg.pin_numa = effective_pin;
+    scfg.adapt_depth = cfg.mode.streaming();
+    core::ShardedEngine sharded(ds, cfg, scfg);
+    const auto st = sharded.run_quantized(args.rounds);
+    const core::ImbalanceReport imb = sharded.imbalance();
+
+    core::TablePrinter table({"metric", "value"});
+    table.add_row({"backend", st.backend});
+    table.add_row({"shards", std::to_string(st.shards)});
+    table.add_row({"batches", std::to_string(st.batches)});
+    table.add_row({"nodes/epoch", std::to_string(st.nodes)});
+    table.add_row({"QGTC ms/epoch",
+                   core::TablePrinter::fmt(st.forward_seconds * 1e3, 1)});
+    table.add_row({"tile MMAs/epoch", std::to_string(st.bmma_ops)});
+    table.add_row({"halo nodes/epoch", std::to_string(st.halo_nodes)});
+    table.add_row({"halo MB/epoch",
+                   core::TablePrinter::fmt(
+                       static_cast<double>(st.halo_bytes) / 1e6, 2)});
+    table.add_row({"halo wire ms/epoch",
+                   core::TablePrinter::fmt(st.halo_wire_seconds * 1e3, 2)});
+    table.add_row({"exposed halo ms",
+                   core::TablePrinter::fmt(st.exposed_halo_seconds * 1e3, 2)});
+    for (const core::ShardReport& r : sharded.shard_reports()) {
+      table.add_row(
+          {"shard " + std::to_string(r.shard) + " busy/stall ms",
+           core::TablePrinter::fmt(r.busy_seconds * 1e3, 1) + "/" +
+               core::TablePrinter::fmt(r.stall_seconds * 1e3, 1) + "  (" +
+               std::to_string(r.batches) + " batches, " +
+               std::to_string(r.nodes) + " nodes, halo " +
+               core::TablePrinter::fmt(
+                   static_cast<double>(r.halo_bytes) / 1e6, 2) +
+               " MB" +
+               (r.pinned ? ", pinned to " + std::to_string(r.cpus) + " cpus"
+                         : "") +
+               (r.suggested_depth > 0 && r.suggested_depth != r.pipeline_depth
+                    ? ", depth " + std::to_string(r.pipeline_depth) + "->" +
+                          std::to_string(r.suggested_depth)
+                    : "") +
+               ")"});
+    }
+    table.add_row({"max/mean shard busy",
+                   core::TablePrinter::fmt(imb.max_over_mean, 2) +
+                       (imb.skewed() ? " (skewed, straggler shard " +
+                                           std::to_string(imb.straggler) + ")"
+                                     : "")});
+    table.add_row({"halo-stall share",
+                   core::TablePrinter::fmt_pct(imb.halo_stall_share, 1)});
+    table.add_row({"peak RSS MB",
+                   core::TablePrinter::fmt(
+                       static_cast<double>(vm_hwm_bytes()) / 1e6, 1)});
     table.print(std::cout);
     flush_observability();
     return 0;

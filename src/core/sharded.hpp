@@ -1,0 +1,161 @@
+// NUMA-sharded scale-out of the QGTC engine. A multi-GPU QGTC deployment
+// splits the partitioned graph across devices and exchanges boundary
+// (halo) features over NVLink; this environment has neither, so the shard
+// axis maps onto NUMA domains (or logical CPU slices): each shard owns a
+// disjoint subset of the global epoch batches, runs its own QgtcEngine with
+// workers pinned to its CPU slice, and pays a modelled interconnect for the
+// feature rows its batches read from foreign-owned nodes
+// (comm::HaloExchange — see DESIGN.md's substitution table).
+//
+// Determinism contract: sharding is a *batch-subset filter* over one shared
+// global plan. Every shard engine partitions the same graph, builds the same
+// global batch list, creates the same seeded model and calibrates on global
+// batch 0, so per-batch logits and substrate counters are bit-identical to a
+// single-engine run; the coordinator scatters logits back to global batch
+// slots and merges counters as order-independent integer sums. An S-shard
+// run therefore equals the 1-engine run bit-for-bit, with the speedup and
+// the halo bill showing up only in the timing/traffic columns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/shard_channel.hpp"
+#include "core/engine.hpp"
+
+namespace qgtc::core {
+
+/// The shard assignment: node ownership (for halo membership) plus the
+/// global-batch -> shard mapping both the engines and the coordinator index
+/// through. Built once by make_shard_plan, editable (set_plan / rebalance)
+/// for skew experiments.
+struct ShardPlan {
+  int num_shards = 1;
+  std::vector<i32> owner;                       // global node -> owning shard
+  std::vector<std::vector<i64>> shard_batches;  // shard -> global batch ids
+  std::vector<i64> batch_shard;                 // global batch id -> shard
+
+  [[nodiscard]] i64 num_batches() const {
+    return static_cast<i64>(batch_shard.size());
+  }
+};
+
+/// Plans S shards over the global epoch batches of `cfg`: node ownership
+/// comes from a coarse S-way METIS-substitute partition, and each batch goes
+/// to the shard owning the plurality of its nodes (ties to the lowest shard
+/// id). Deterministic in the graph + cfg.
+ShardPlan make_shard_plan(const CsrView& g,
+                          const std::vector<SubgraphBatch>& batches,
+                          int num_shards);
+
+struct ShardedConfig {
+  int num_shards = 2;
+  /// Pin each shard's thread (and its OpenMP team, via mask inheritance) to
+  /// its affinity::shard_cpu_slices slice. Advisory — shards run unpinned
+  /// wherever the platform cannot pin, and report `pinned=false`.
+  bool pin_numa = false;
+  /// The modelled cross-shard interconnect halo traffic is charged to.
+  comm::InterconnectModel interconnect;
+  /// Streaming mode only: after each run, retune every shard's pipeline
+  /// depth from its stage stall telemetry (autotune::recommend_pipeline_depth)
+  /// so the next run absorbs the suggestion online.
+  bool adapt_depth = false;
+};
+
+/// Per-shard outcome of the last run (reporting surface for the CLI table,
+/// bench JSON rows and the imbalance analysis).
+struct ShardReport {
+  int shard = 0;
+  i64 batches = 0;
+  i64 nodes = 0;
+  double busy_seconds = 0.0;   // the shard engine's forward_seconds
+  double stall_seconds = 0.0;  // summed stage stalls (streaming; 0 otherwise)
+  i64 halo_nodes = 0;
+  i64 halo_bytes = 0;
+  double halo_wire_seconds = 0.0;
+  double exposed_halo_seconds = 0.0;
+  bool pinned = false;
+  int cpus = 0;             // size of the shard's CPU slice (0 = unpinned)
+  int pipeline_depth = 0;   // depth this run used (streaming)
+  int suggested_depth = 0;  // telemetry-driven depth for the next run
+  EngineStats stats;        // the shard engine's full per-run stats
+};
+
+/// Shard load-balance summary over the last run. `max_over_mean` is the
+/// straggler amplification (1.0 = perfectly balanced; an epoch finishes when
+/// the slowest shard does); `halo_stall_share` is the fraction of total
+/// shard-seconds lost to exposed (un-overlapped) halo wire time.
+struct ImbalanceReport {
+  double max_busy = 0.0;
+  double mean_busy = 0.0;
+  double max_over_mean = 1.0;
+  int straggler = 0;
+  double halo_stall_share = 0.0;
+
+  [[nodiscard]] bool skewed(double threshold = 1.5) const {
+    return max_over_mean > threshold;
+  }
+};
+
+class ShardedEngine {
+ public:
+  /// Plans the shards and constructs one QgtcEngine per non-empty shard.
+  /// Engine construction happens inside each shard's (optionally pinned)
+  /// thread, so precomputed batch data is first-touched on the shard's NUMA
+  /// node. Worker budgets divide across shards: each shard engine gets
+  /// max(1, inter_batch_threads / S) compute workers (same for preparers).
+  ShardedEngine(const Dataset& dataset, const EngineConfig& cfg,
+                const ShardedConfig& scfg);
+
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] int num_shards() const { return plan_.num_shards; }
+  [[nodiscard]] i64 num_batches() const { return plan_.num_batches(); }
+
+  /// Replaces the shard plan (same shard count, same global batch universe)
+  /// and rebuilds the shard engines — the skew-experiment and rebalance
+  /// entry point.
+  void set_plan(ShardPlan plan);
+
+  /// One sharded quantized run: every shard executes its batch subset
+  /// concurrently (rounds epochs, same protocol as QgtcEngine) and exchanges
+  /// its per-epoch halo features through the modelled interconnect.
+  /// `logits_out`, when non-null, receives all `num_batches()` global
+  /// batches' logits — bit-identical to a single-engine run_quantized.
+  EngineStats run_quantized(int rounds = 1,
+                            std::vector<MatrixI32>* logits_out = nullptr);
+
+  /// Per-shard reports from the last run (empty before the first run).
+  [[nodiscard]] const std::vector<ShardReport>& shard_reports() const {
+    return reports_;
+  }
+
+  /// Load-balance summary of the last run.
+  [[nodiscard]] ImbalanceReport imbalance() const;
+
+  /// Telemetry-driven rebalance: greedily moves batches off the measured
+  /// straggler shard onto the least-loaded shard while the predicted
+  /// straggler time improves, then rebuilds the engines on the new plan.
+  /// Returns false (and changes nothing) when there is no last run to learn
+  /// from or no move helps.
+  bool rebalance();
+
+  /// The halo fabric (cumulative S x S traffic matrix across runs).
+  [[nodiscard]] const comm::HaloExchange& halo() const { return *halo_; }
+
+ private:
+  void build_engines();
+
+  const Dataset* dataset_ = nullptr;
+  EngineConfig cfg_;
+  ShardedConfig scfg_;
+  ShardPlan plan_;
+  std::vector<SubgraphBatch> global_batches_;
+  std::vector<std::vector<int>> cpu_slices_;  // pin_numa only
+  std::unique_ptr<comm::HaloExchange> halo_;
+  std::vector<std::unique_ptr<QgtcEngine>> engines_;  // null for empty shards
+  std::vector<bool> pinned_;
+  std::vector<int> depth_override_;  // adapt_depth carry-over, 0 = none
+  std::vector<ShardReport> reports_;
+};
+
+}  // namespace qgtc::core

@@ -1,0 +1,68 @@
+// CPU / NUMA-node affinity helpers for the sharded engine. A shard's worker
+// threads want to run on the socket that owns the shard's memory; everything
+// here degrades to an explicit no-op when the host cannot express that
+// (containers with restricted cpusets, kernels without sysfs topology,
+// non-Linux platforms) — pinning is advisory, never load-bearing for
+// correctness, and callers must treat a `false` return as "ran unpinned".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/defs.hpp"
+
+namespace qgtc::affinity {
+
+/// One NUMA node's online CPUs, in ascending order.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// Host topology: the NUMA nodes and their CPU lists. `from_sysfs` is false
+/// when the sysfs node directory was absent or unreadable and the topology
+/// is the single-node fallback (every CPU the process can see on node 0).
+struct Topology {
+  std::vector<NumaNode> nodes;
+  bool from_sysfs = false;
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] int total_cpus() const {
+    int n = 0;
+    for (const NumaNode& node : nodes) n += static_cast<int>(node.cpus.size());
+    return n;
+  }
+};
+
+/// Parses a Linux cpulist string ("0-3,8,10-11") into the explicit CPU ids.
+/// Malformed ranges are skipped rather than thrown — sysfs content is not
+/// under our control and a parse failure must degrade, not abort.
+std::vector<int> parse_cpulist(const std::string& list);
+
+/// Reads the NUMA topology from `sysfs_root` (default the real sysfs node
+/// directory; tests point it at a fixture or a nonexistent path to exercise
+/// the fallback). Always returns at least one node with at least one CPU.
+Topology detect_topology(
+    const std::string& sysfs_root = "/sys/devices/system/node");
+
+/// CPUs the calling thread is currently allowed to run on; empty when the
+/// platform cannot report it (the fallback-path signal).
+std::vector<int> current_thread_cpus();
+
+/// Pins the calling thread to `cpus`. Returns false — leaving the thread
+/// untouched — when `cpus` is empty, the platform has no sched_setaffinity,
+/// or the kernel rejects the mask (e.g. a container cpuset excludes every
+/// requested CPU). OpenMP worker threads spawned by this thread after a
+/// successful pin inherit the mask, so pinning a shard's root thread before
+/// its first parallel region covers its whole team.
+bool pin_current_thread(const std::vector<int>& cpus);
+
+/// Distributes `shards` across the topology: with several NUMA nodes, shard
+/// i gets node (i % nodes)'s CPU list (one shard per socket until shards
+/// outnumber sockets); with one node, the CPUs are split into `shards`
+/// contiguous slices so co-located shards do not oversubscribe each other.
+/// Every returned slice is non-empty.
+std::vector<std::vector<int>> shard_cpu_slices(const Topology& topo,
+                                               int shards);
+
+}  // namespace qgtc::affinity

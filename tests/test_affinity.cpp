@@ -1,0 +1,117 @@
+// Affinity-helper tests: cpulist parsing (including malformed sysfs
+// content), topology detection against a fixture sysfs tree and the
+// single-node fallback, the graceful no-op pinning contract, and the
+// shard -> CPU-slice distribution rules.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "parallel/affinity.hpp"
+
+namespace qgtc::affinity {
+namespace {
+
+TEST(CpuList, ParsesSinglesRangesAndMixes) {
+  EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  // Deduplicated and sorted regardless of input order.
+  EXPECT_EQ(parse_cpulist("5,1-2,2,0"), (std::vector<int>{0, 1, 2, 5}));
+}
+
+TEST(CpuList, SkipsMalformedTokensInsteadOfThrowing) {
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("garbage").empty());
+  EXPECT_EQ(parse_cpulist("x,3,2-"), (std::vector<int>{3}));
+  EXPECT_EQ(parse_cpulist("4-2,7"), (std::vector<int>{7}));  // inverted range
+  EXPECT_EQ(parse_cpulist(",,1,"), (std::vector<int>{1}));
+}
+
+TEST(Topology, ReadsFixtureSysfsTree) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "qgtc_numa_fixture";
+  fs::create_directories(root / "node0");
+  fs::create_directories(root / "node1");
+  std::ofstream(root / "node0" / "cpulist") << "0-1\n";
+  std::ofstream(root / "node1" / "cpulist") << "2-3\n";
+
+  const Topology topo = detect_topology(root.string());
+  EXPECT_TRUE(topo.from_sysfs);
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.nodes[0].id, 0);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{2, 3}));
+  EXPECT_EQ(topo.total_cpus(), 4);
+  fs::remove_all(root);
+}
+
+TEST(Topology, FallsBackToSingleNodeWhenSysfsAbsent) {
+  const Topology topo =
+      detect_topology("/nonexistent/qgtc/sysfs/path");
+  EXPECT_FALSE(topo.from_sysfs);
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_GE(topo.total_cpus(), 1);  // always at least one usable CPU
+}
+
+TEST(Pinning, EmptyAndInvalidMasksAreGracefulNoOps) {
+  EXPECT_FALSE(pin_current_thread({}));
+  // A CPU id no host has: the mask is empty after filtering, so the call
+  // must decline rather than clear the thread's affinity.
+  EXPECT_FALSE(pin_current_thread({1 << 24}));
+}
+
+TEST(Pinning, RepinToCurrentMaskSucceedsOnLinux) {
+  const std::vector<int> before = current_thread_cpus();
+  if (before.empty()) {
+    GTEST_SKIP() << "platform cannot report thread affinity";
+  }
+  // Re-pinning to the exact current mask is always admissible; the thread's
+  // view must be unchanged afterwards.
+  EXPECT_TRUE(pin_current_thread(before));
+  EXPECT_EQ(current_thread_cpus(), before);
+}
+
+Topology single_node(int cpus) {
+  Topology topo;
+  topo.from_sysfs = false;
+  NumaNode node;
+  node.id = 0;
+  for (int c = 0; c < cpus; ++c) node.cpus.push_back(c);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+TEST(ShardSlices, SingleNodeSplitsContiguouslyAndCoversAllCpus) {
+  const auto slices = shard_cpu_slices(single_node(8), 3);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(slices[1], (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(slices[2], (std::vector<int>{6, 7}));
+}
+
+TEST(ShardSlices, MoreShardsThanCpusWrapsRoundRobin) {
+  const auto slices = shard_cpu_slices(single_node(2), 5);
+  ASSERT_EQ(slices.size(), 5u);
+  for (const auto& s : slices) EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(slices[0][0], 0);
+  EXPECT_EQ(slices[1][0], 1);
+  EXPECT_EQ(slices[2][0], 0);  // wrapped
+}
+
+TEST(ShardSlices, MultiNodeAssignsOneShardPerSocketThenWraps) {
+  Topology topo;
+  topo.from_sysfs = true;
+  topo.nodes.push_back({0, {0, 1}});
+  topo.nodes.push_back({1, {2, 3}});
+  const auto slices = shard_cpu_slices(topo, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices[0], topo.nodes[0].cpus);
+  EXPECT_EQ(slices[1], topo.nodes[1].cpus);
+  EXPECT_EQ(slices[2], topo.nodes[0].cpus);  // oversubscribed, same locality
+  EXPECT_EQ(slices[3], topo.nodes[1].cpus);
+}
+
+}  // namespace
+}  // namespace qgtc::affinity
